@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-regeneration harness.
+
+Each benchmark regenerates one table/figure from the paper's
+evaluation, prints it, and writes it under results/ so the run leaves
+a reviewable artefact.  Shape assertions (who wins, by roughly what
+factor, where crossovers fall) make the harness self-checking.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit_report(results_dir, capsys):
+    """Print a report and persist it under results/<name>.txt."""
+
+    def emit(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print("\n" + text)
+
+    return emit

@@ -1,0 +1,62 @@
+"""E5/E6/E7 — the correctness artefacts of Sections 3 and 5.
+
+Regenerates, as a text report: the mapping tables (Figures 2/3/7), the
+Theorem-1 verdict matrix over the litmus corpus for every mapping
+scheme (reproducing each reported QEMU bug and the SBAL Arm-model bug),
+and the Figure 5 model-correction comparison.
+"""
+
+import pytest
+
+from repro.analysis import mapping_table_report
+from repro.core import ARM, ARM_ORIGINAL, TCG, X86
+from repro.core import litmus_library as L
+from repro.core import mappings as M
+from repro.core.verifier import check_corpus
+
+#: mapping -> (target model, expected broken tests)
+MATRIX = (
+    (M.risotto_x86_to_tcg, TCG, frozenset()),
+    (M.risotto_x86_to_arm_rmw1, ARM, frozenset()),
+    (M.risotto_x86_to_arm_rmw2, ARM, frozenset()),
+    (M.armcats_intended, ARM, frozenset()),
+    (M.qemu_x86_to_arm_gcc10, ARM, frozenset({"MPQ"})),
+    (M.qemu_x86_to_arm_gcc9, ARM,
+     frozenset({"MPQ", "SBQ", "SBAL", "SB+rmw-one-side"})),
+    (M.armcats_intended, ARM_ORIGINAL, frozenset({"SBAL"})),
+)
+
+
+@pytest.fixture(scope="module")
+def verdict_matrix():
+    rows = []
+    for mapping, model, expected in MATRIX:
+        report = check_corpus(L.X86_CORPUS, mapping, X86, model)
+        broken = frozenset(v.test_name for v in report.failures)
+        rows.append((mapping.name, model.name, broken, expected))
+    return rows
+
+
+def test_mapping_tables_and_verdicts(benchmark, verdict_matrix,
+                                     emit_report):
+    rows = benchmark.pedantic(lambda: verdict_matrix, rounds=1,
+                              iterations=1)
+    lines = [mapping_table_report(), "",
+             "Theorem-1 verdicts over the litmus corpus "
+             f"({len(L.X86_CORPUS)} tests)",
+             f"{'mapping':44s}{'target model':20s}broken tests"]
+    for name, model, broken, expected in rows:
+        shown = ", ".join(sorted(broken)) or "(none — verified)"
+        lines.append(f"{name:44s}{model:20s}{shown}")
+    # no-fences: how much of the corpus it breaks.
+    from repro.core.verifier import check_corpus as _cc
+
+    nf = _cc(L.X86_CORPUS, M.nofences_x86_to_arm, X86, ARM)
+    lines.append(
+        f"{'nofences-x86-to-arm':44s}{'arm-cats':20s}"
+        f"{len(nf.failures)}/{len(L.X86_CORPUS)} tests broken")
+    emit_report("correctness_matrix", "\n".join(lines))
+
+    for name, model, broken, expected in rows:
+        assert broken == expected, (name, model, broken)
+    assert len(nf.failures) >= 8

@@ -1,0 +1,84 @@
+"""E1/E9/E11 — Figure 12: PARSEC + Phoenix run time relative to QEMU.
+
+Regenerates the figure's series (no-fences, tcg-ver, risotto, native,
+each relative to QEMU) plus the Section 7.2 prose numbers: the fence
+cost share (avg ~48%, up to 75% on freqmine) and tcg-ver's gain
+(avg 6.7%, up to 19.7%).  Also checks E11: the idle host linker costs
+nothing (risotto == tcg-ver on linker-free workloads).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import BenchRow, BenchTable, figure12_report
+from repro.workloads import ALL_SPECS, run_kernel
+
+VARIANTS = ("qemu", "no-fences", "tcg-ver", "risotto", "native")
+ITERATIONS = 400
+
+
+@pytest.fixture(scope="module")
+def fig12_table() -> BenchTable:
+    table = BenchTable(name="figure12")
+    for spec in ALL_SPECS:
+        sized = replace(spec, iterations=ITERATIONS)
+        for variant in VARIANTS:
+            outcome = run_kernel(sized, variant)
+            table.add(BenchRow(
+                benchmark=spec.name,
+                variant=variant,
+                cycles=outcome.cycles,
+                fence_cycles=outcome.result.fence_cycles,
+                total_cycles=outcome.result.total_cycles,
+                checksum=outcome.checksum,
+            ))
+    return table
+
+
+def test_figure12(benchmark, fig12_table, emit_report):
+    table = benchmark.pedantic(lambda: fig12_table, rounds=1,
+                               iterations=1)
+    report = figure12_report(table)
+    emit_report("figure12_parsec_phoenix", report)
+
+    # --- correctness: every variant computes the same checksum ------
+    for bench in table.benchmarks():
+        assert table.checksums_consistent(bench), bench
+
+    # --- shape: ordering of the bars --------------------------------
+    for bench in table.benchmarks():
+        nofences = table.relative_runtime(bench, "no-fences")
+        tcgver = table.relative_runtime(bench, "tcg-ver")
+        native = table.relative_runtime(bench, "native")
+        assert native < nofences < 1.0, bench
+        assert tcgver <= 1.001, bench  # verified mappings never slower
+
+    # --- prose numbers (rough bands around the paper's values) ------
+    avg_gain = table.average_gain("tcg-ver")
+    assert 0.03 <= avg_gain <= 0.15, f"avg gain {avg_gain:.3f}"
+    max_gain = table.max_gain("tcg-ver")
+    assert 0.12 <= max_gain <= 0.30, f"max gain {max_gain:.3f}"
+
+    worst_bench, worst_share = table.max_fence_share("qemu")
+    assert worst_bench == "freqmine"
+    assert 0.55 <= worst_share <= 0.85
+
+    benchmark.extra_info["avg_tcgver_gain"] = round(avg_gain, 4)
+    benchmark.extra_info["max_tcgver_gain"] = round(max_gain, 4)
+    benchmark.extra_info["max_fence_share"] = round(worst_share, 4)
+
+
+def test_linker_has_no_overhead_when_unused(benchmark, fig12_table):
+    """Section 7.3: risotto (linker on) matches tcg-ver on workloads
+    that never call a linked library — modulo the CAS-translation
+    difference, which these kernels don't exercise either."""
+    def deltas():
+        return [
+            abs(fig12_table.relative_runtime(b, "risotto")
+                - fig12_table.relative_runtime(b, "tcg-ver"))
+            for b in fig12_table.benchmarks()
+        ]
+
+    values = benchmark.pedantic(deltas, rounds=1, iterations=1)
+    assert max(values) < 0.01

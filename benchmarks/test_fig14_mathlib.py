@@ -1,0 +1,76 @@
+"""E3 — Figure 14: libm function speedups with the host linker.
+
+Math calls are short, so argument marshaling is not amortized: Risotto
+beats QEMU by up to ~10× but stays clearly below native (the paper's
+explanation of the Figure 13/14 difference).  sqrt is the crossover
+case: one instruction either way, so the linker gains ~nothing.
+"""
+
+import struct
+
+import pytest
+
+from repro.analysis import BenchRow, BenchTable, speedup_report
+from repro.workloads import build_libm
+from repro.workloads.runner import run_library_workload
+
+LIBRARY = build_libm()
+VARIANTS = ("qemu", "risotto", "native")
+FUNCTIONS = ("sqrt", "exp", "log", "cos", "sin", "tan",
+             "acos", "asin", "atan")
+CALLS = 60
+
+
+def _bits(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+@pytest.fixture(scope="module")
+def fig14_table() -> BenchTable:
+    table = BenchTable(name="figure14")
+    for fn in FUNCTIONS:
+        arg = _bits(0.5 if fn != "log" else 1.5)
+        for variant in VARIANTS:
+            outcome = run_library_workload(
+                fn, (arg,), CALLS, variant, LIBRARY)
+            table.add(BenchRow(
+                benchmark=fn, variant=variant,
+                cycles=outcome.cycles, checksum=outcome.checksum))
+    return table
+
+
+def test_figure14(benchmark, fig14_table, emit_report):
+    table = benchmark.pedantic(lambda: fig14_table, rounds=1,
+                               iterations=1)
+    report = speedup_report(
+        table,
+        "Figure 14 — libm speedup over QEMU (higher is better)")
+    emit_report("figure14_mathlib", report)
+
+    # --- correctness --------------------------------------------------
+    for fn in FUNCTIONS:
+        assert table.checksums_consistent(fn), fn
+
+    # --- shape ---------------------------------------------------------
+    for fn in FUNCTIONS:
+        risotto = table.speedup(fn, "risotto")
+        native = table.speedup(fn, "native")
+        assert native >= risotto * 0.99, \
+            f"{fn}: marshaling should keep risotto below native"
+        if fn != "sqrt":
+            assert risotto > 1.5, f"{fn}: expected a clear gain"
+
+    # sqrt gains least (single instruction both ways; the paper reads
+    # ~1x, we measure ~2.4x because our softfloat-helper penalty on a
+    # lone fsqrt is relatively larger — recorded in EXPERIMENTS.md).
+    sqrt_speedup = table.speedup("sqrt", "risotto")
+    assert sqrt_speedup == min(
+        table.speedup(fn, "risotto") for fn in FUNCTIONS)
+    assert sqrt_speedup < 3.0
+    best = max(table.speedup(fn, "risotto") for fn in FUNCTIONS)
+    best_native = max(table.speedup(fn, "native") for fn in FUNCTIONS)
+    assert 4.0 <= best <= 20.0, f"best risotto speedup {best:.2f}"
+    assert best_native > best, "native must exceed risotto on libm"
+
+    benchmark.extra_info["best_risotto_speedup"] = round(best, 2)
+    benchmark.extra_info["best_native_speedup"] = round(best_native, 2)

@@ -1,0 +1,70 @@
+"""E4 — Figure 15: CAS throughput under varying contention.
+
+Risotto's direct ``casal`` translation beats QEMU's helper call only
+without contention (#threads == #variables), by up to ~48%; under
+contention the cache-line transfer dominates and both converge — the
+paper's exact observation (Section 7.4).
+"""
+
+import pytest
+
+from repro.analysis import figure15_report
+from repro.workloads.casbench import (
+    FIGURE15_CONFIGS,
+    run_cas_benchmark,
+    throughput,
+)
+
+VARIANTS = ("qemu", "risotto", "native")
+
+
+@pytest.fixture(scope="module")
+def fig15_series() -> dict:
+    series: dict[str, list[tuple[str, float]]] = {
+        v: [] for v in VARIANTS
+    }
+    for config in FIGURE15_CONFIGS:
+        for variant in VARIANTS:
+            outcome = run_cas_benchmark(config, variant)
+            series[variant].append(
+                (config.label, throughput(config, outcome)))
+    return series
+
+
+def test_figure15(benchmark, fig15_series, emit_report):
+    series = benchmark.pedantic(lambda: fig15_series, rounds=1,
+                                iterations=1)
+    report = figure15_report(series)
+    emit_report("figure15_cas", report)
+
+    qemu = dict(series["qemu"])
+    risotto = dict(series["risotto"])
+    native = dict(series["native"])
+
+    uncontended = [c.label for c in FIGURE15_CONFIGS
+                   if c.threads == c.variables]
+    contended = [c.label for c in FIGURE15_CONFIGS
+                 if c.threads > c.variables]
+
+    # --- shape: wins only without contention -------------------------
+    for label in uncontended:
+        gain = risotto[label] / qemu[label] - 1
+        assert 0.15 <= gain <= 0.80, f"{label}: gain {gain:.2f}"
+    for label in contended:
+        gain = risotto[label] / qemu[label] - 1
+        assert gain <= 0.20, f"{label}: contended gain {gain:.2f}"
+
+    # native is the ceiling everywhere.
+    for label in qemu:
+        assert native[label] >= risotto[label] * 0.95, label
+
+    # crossovers: adding contention at fixed thread count collapses
+    # throughput (e.g. 4-4 >> 4-1).
+    assert risotto["4-4"] > 2 * risotto["4-1"]
+    assert risotto["16-16"] > 2 * risotto["16-1"]
+
+    best = max(risotto[l] / qemu[l] - 1 for l in uncontended)
+    all_gains = [risotto[l] / qemu[l] - 1 for l in qemu]
+    benchmark.extra_info["best_uncontended_gain"] = round(best, 3)
+    benchmark.extra_info["avg_gain"] = round(
+        sum(all_gains) / len(all_gains), 3)

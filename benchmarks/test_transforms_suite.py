@@ -1,0 +1,99 @@
+"""E10 — Figure 10 transformation-correctness matrix.
+
+Checks every elimination rule against the model checker across fence
+kinds, regenerating the paper's table plus the two negative results:
+RAW elimination across Fmr (the FMR bug) and — a deviation our checker
+found — WAW elimination across Fww (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core import TCG, Fence
+from repro.core import litmus_library as L
+from repro.core.litmus_library import R, W, tcg
+from repro.core.program import FenceOp, Store
+from repro.core.transforms import (
+    FIGURE_10_RULES,
+    eliminate_rar,
+    eliminate_raw,
+    eliminate_waw,
+)
+from repro.core.verifier import check_translation
+
+
+def _ctx(*t0_ops):
+    return tcg("ctx", tuple(t0_ops),
+               (R("p", "Y"), FenceOp(Fence.FRR), R("q", "X")),
+               (W("Y", 3),))
+
+
+def _ok(src, tgt) -> bool:
+    return check_translation(src, tgt, TCG, TCG, mapping_name="t").ok
+
+
+CASES = (
+    ("RAR", None,
+     lambda f: _ctx(W("X", 1), R("a", "X"), R("b", "X")),
+     lambda p: eliminate_rar(p, 0, 1), True),
+    ("RAW", None,
+     lambda f: _ctx(W("X", 2), R("a", "X"), Store("Z", "a")),
+     lambda p: eliminate_raw(p, 0, 0), True),
+    ("WAW", None,
+     lambda f: _ctx(W("X", 1), W("X", 2), W("Y", 1)),
+     lambda p: eliminate_waw(p, 0, 0), True),
+    ("F-RAR", Fence.FRM,
+     lambda f: _ctx(W("X", 1), R("a", "X"), FenceOp(f), R("b", "X")),
+     lambda p: eliminate_rar(p, 0, 1), True),
+    ("F-RAR", Fence.FWW,
+     lambda f: _ctx(W("X", 1), R("a", "X"), FenceOp(f), R("b", "X")),
+     lambda p: eliminate_rar(p, 0, 1), True),
+    ("F-RAW", Fence.FWW,
+     lambda f: _ctx(W("X", 2), FenceOp(f), R("a", "X"),
+                    Store("Z", "a")),
+     lambda p: eliminate_raw(p, 0, 0), True),
+    ("F-RAW", Fence.FSC,
+     lambda f: _ctx(W("X", 2), FenceOp(f), R("a", "X"),
+                    Store("Z", "a")),
+     lambda p: eliminate_raw(p, 0, 0), True),
+    ("F-WAW", Fence.FRM,
+     lambda f: _ctx(W("X", 1), FenceOp(f), W("X", 2), W("Y", 1)),
+     lambda p: eliminate_waw(p, 0, 0), True),
+    # The negative results:
+    ("F-RAW (FMR bug)", Fence.FMR, lambda f: L.FMR_SOURCE,
+     lambda p: eliminate_raw(p, 0, 2), False),
+    ("F-WAW (deviation)", Fence.FWW,
+     lambda f: _ctx(W("X", 1), FenceOp(f), W("X", 2), W("Y", 1)),
+     lambda p: eliminate_waw(p, 0, 0), False),
+)
+
+
+@pytest.fixture(scope="module")
+def transform_matrix():
+    rows = []
+    for rule, fence, make_src, transform, expect_ok in CASES:
+        src = make_src(fence)
+        tgt = transform(src)
+        rows.append((rule, fence.value if fence else "—",
+                     _ok(src, tgt), expect_ok))
+    return rows
+
+
+def test_figure10_matrix(benchmark, transform_matrix, emit_report):
+    rows = benchmark.pedantic(lambda: transform_matrix, rounds=1,
+                              iterations=1)
+    lines = ["Figure 10 — elimination rules checked by the model "
+             "checker",
+             f"{'rule':22s}{'fence':8s}{'verdict':10s}expected"]
+    for rule, fence, ok, expected in rows:
+        verdict = "correct" if ok else "UNSOUND"
+        lines.append(f"{rule:22s}{fence:8s}{verdict:10s}"
+                     f"{'correct' if expected else 'UNSOUND'}")
+    lines.append("")
+    lines.append("Rule patterns (paper's Figure 10):")
+    for rule in FIGURE_10_RULES:
+        lines.append(f"  {rule.name:6s} {rule.pattern:24s} -> "
+                     f"{rule.result:16s} [{rule.fence_condition}]")
+    emit_report("figure10_transforms", "\n".join(lines))
+
+    for rule, fence, ok, expected in rows:
+        assert ok == expected, (rule, fence)

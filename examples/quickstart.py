@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: translate and run an x86 guest program on the simulated
+Arm host, under every DBT variant.
+
+Run:  python examples/quickstart.py
+
+What it shows:
+
+1. Assemble a small multi-threaded guest program (x86).
+2. Run it under QEMU's original mapping scheme, the incorrect
+   no-fences oracle, the verified tcg-ver scheme, and full Risotto.
+3. Compare cycles and the time spent in memory fences — the paper's
+   core performance story in one page.
+"""
+
+from repro.dbt import DBTEngine, VARIANTS
+from repro.isa.x86 import assemble
+
+GUEST_PROGRAM = """
+; Two threads pass a message through shared memory:
+; the worker publishes data then a flag; main spins on the flag and
+; reads the data — the MP idiom whose ordering the DBT must preserve.
+
+main:
+    mov rax, 1000          ; spawn(worker, arg=7)
+    mov rdi, worker
+    mov rsi, 7
+    syscall
+    mov r15, rax           ; remember worker's tid
+
+wait_flag:
+    mov rbx, 0x9008        ; flag address
+    mov rcx, [rbx]
+    cmp rcx, 1
+    jne wait_flag
+
+    mov rbx, 0x9000        ; data address
+    mov rdi, [rbx]         ; must read 4242, never 0
+    mov rax, 1             ; write_int(data)
+    syscall
+
+    mov rdi, r15
+    mov rax, 1001          ; join(worker)
+    syscall
+    mov rdi, 0
+    mov rax, 60            ; exit(0)
+    syscall
+
+worker:
+    ; rdi = argument (7)
+    mov rax, rdi
+    mov rcx, 600
+accumulate:
+    add rax, rcx           ; some real work
+    dec rcx
+    jne accumulate
+    mov rbx, 0x9000
+    mov rcx, 4242
+    mov [rbx], rcx         ; publish data...
+    mov rbx, 0x9008
+    mov rcx, 1
+    mov [rbx], rcx         ; ...then the flag (ordering matters!)
+    ret
+"""
+
+
+def main() -> None:
+    assembly = assemble(GUEST_PROGRAM, base=0x400000)
+    print(f"guest binary: {len(assembly.code)} bytes, "
+          f"{len(assembly.insns)} instructions\n")
+
+    print(f"{'variant':12s} {'cycles':>9s} {'fences':>8s} "
+          f"{'fence%':>7s} {'blocks':>7s}  output")
+    for name, config in VARIANTS.items():
+        engine = DBTEngine(config, n_cores=2)
+        engine.load_image(assembly.base, assembly.code)
+        result = engine.run(assembly.label("main"))
+        assert result.output == [4242], \
+            f"{name}: message passing broke! got {result.output}"
+        share = result.fence_share
+        print(f"{name:12s} {result.elapsed_cycles:9d} "
+              f"{result.fence_cycles:8d} {100 * share:6.1f}% "
+              f"{result.stats.blocks_translated:7d}  {result.output}")
+
+    print("\nAll variants deliver the message; they differ in what the "
+          "ordering costs.")
+    print("(On this simulated host the no-fences variant happens to "
+          "work here — the")
+    print("axiomatic checker in repro.core is what proves it is "
+          "incorrect in general.)")
+
+
+if __name__ == "__main__":
+    main()

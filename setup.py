@@ -1,0 +1,5 @@
+"""Shim for environments without the `wheel` package (offline editable
+installs fall back to `setup.py develop`)."""
+from setuptools import setup
+
+setup()

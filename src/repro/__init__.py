@@ -1,0 +1,11 @@
+"""Risotto (ASPLOS 2023) reproduction.
+
+A Python library reproducing "Risotto: A Dynamic Binary Translator for
+Weak Memory Model Architectures": formally checked fence mappings for
+x86-on-Arm emulation, a QEMU-style DBT pipeline over a simulated
+weak-memory Arm host, a dynamic host library linker, and fast CAS
+translation — plus the benchmark harness regenerating the paper's
+evaluation figures.
+"""
+
+__version__ = "1.0.0"

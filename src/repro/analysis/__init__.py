@@ -1,0 +1,15 @@
+"""Result aggregation and paper-style reporting."""
+
+from .report import (
+    figure12_report,
+    figure15_report,
+    mapping_table_report,
+    speedup_report,
+)
+from .stats import BenchRow, BenchTable
+
+__all__ = [
+    "BenchRow", "BenchTable",
+    "figure12_report", "figure15_report", "mapping_table_report",
+    "speedup_report",
+]

@@ -1,0 +1,113 @@
+"""Paper-style text rendering of benchmark tables and figures.
+
+Every figure harness prints the same rows/series the paper plots, as
+plain text tables, so `pytest benchmarks/ --benchmark-only` output can
+be compared side by side with the paper's Figures 12-15.
+"""
+
+from __future__ import annotations
+
+from .stats import BenchTable
+
+
+def _fmt_pct(x: float) -> str:
+    return f"{100 * x:6.1f}%"
+
+
+def figure12_report(table: BenchTable) -> str:
+    """Run time of each benchmark relative to QEMU (lower is better)."""
+    variants = [v for v in ("no-fences", "tcg-ver", "risotto", "native")
+                if v in table.variants()]
+    lines = [
+        "Figure 12 — run time relative to QEMU (lower is better)",
+        f"{'benchmark':18s}" + "".join(f"{v:>11s}" for v in variants)
+        + f"{'qemu-fence%':>13s}",
+    ]
+    for bench in table.benchmarks():
+        cells = "".join(
+            f"{table.relative_runtime(bench, v):11.3f}"
+            for v in variants)
+        fence = table.rows[(bench, "qemu")].fence_share
+        lines.append(f"{bench:18s}{cells}{_fmt_pct(fence):>13s}")
+    lines.append("-" * 78)
+    if "tcg-ver" in variants:
+        lines.append(
+            f"tcg-ver gain: avg {_fmt_pct(table.average_gain('tcg-ver'))} "
+            f"(paper: 6.7%), max {_fmt_pct(table.max_gain('tcg-ver'))} "
+            f"(paper: 19.7%)")
+    if "no-fences" in variants:
+        worst, share = table.max_fence_share("qemu")
+        lines.append(
+            f"fence cost share (qemu): avg "
+            f"{_fmt_pct(table.average_fence_share('qemu'))} "
+            f"(paper: 48%), max {_fmt_pct(share)} on {worst} "
+            f"(paper: 75% on freqmine)")
+    return "\n".join(lines)
+
+
+def speedup_report(table: BenchTable, title: str,
+                   variants: tuple[str, ...] = ("risotto", "native"),
+                   ) -> str:
+    """Speedup over QEMU (Figures 13 and 14, higher is better)."""
+    lines = [
+        title,
+        f"{'benchmark':22s}" + "".join(f"{v:>11s}" for v in variants),
+    ]
+    for bench in table.benchmarks():
+        cells = "".join(
+            f"{table.speedup(bench, v):10.2f}x" for v in variants)
+        lines.append(f"{bench:22s}{cells}")
+    return "\n".join(lines)
+
+
+def figure15_report(series: dict[str, list[tuple[str, float]]]) -> str:
+    """CAS throughput per (threads-vars) configuration."""
+    variants = list(series)
+    configs = [label for label, _ in series[variants[0]]]
+    lines = [
+        "Figure 15 — CAS throughput (ops/s, higher is better)",
+        f"{'config':>8s}" + "".join(f"{v:>12s}" for v in variants),
+    ]
+    table = {
+        variant: dict(points) for variant, points in series.items()
+    }
+    for config in configs:
+        cells = "".join(
+            f"{table[v][config] / 1e6:11.1f}M" for v in variants)
+        lines.append(f"{config:>8s}{cells}")
+    if "qemu" in table and "risotto" in table:
+        gains = [
+            table["risotto"][c] / table["qemu"][c] - 1 for c in configs
+        ]
+        uncontended = [
+            table["risotto"][c] / table["qemu"][c] - 1
+            for c in configs
+            if c.split("-")[0] == c.split("-")[1]
+        ]
+        lines.append(
+            f"risotto vs qemu: avg {_fmt_pct(sum(gains) / len(gains))} "
+            f"(paper: 14.5%), best uncontended "
+            f"{_fmt_pct(max(uncontended))} (paper: 48%)")
+    return "\n".join(lines)
+
+
+def mapping_table_report() -> str:
+    """Figures 2, 3 and 7 as text (the mapping-scheme tables)."""
+    lines = [
+        "Figure 2 — QEMU mappings (x86 -> TCG IR -> Arm)",
+        "  RMOV   -> Frr; ld   -> DMBLD; LDR",
+        "  WMOV   -> Fmw; st   -> DMBFF; STR",
+        "  RMW    -> call      -> BLR; RMW; RET",
+        "  MFENCE -> Fsc       -> DMBFF",
+        "",
+        "Figure 3 — intended Arm-Cats direct mapping",
+        "  RMOV -> LDRQ   WMOV -> STRL   RMW -> RMW1_AL   "
+        "MFENCE -> DMBFF",
+        "",
+        "Figure 7 — Risotto's verified mappings",
+        "  RMOV   -> ld; Frm   -> LDR; DMBLD",
+        "  WMOV   -> Fww; st   -> DMBST; STR",
+        "  RMW    -> RMW       -> DMBFF; RMW2; DMBFF  or  RMW1_AL",
+        "  MFENCE -> Fsc       -> DMBFF",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Result aggregation for the evaluation harness.
+
+Collects per-benchmark runs into the exact quantities the paper
+reports: run time relative to QEMU (Figure 12), speedup over QEMU
+(Figures 13-14), CAS throughput (Figure 15), fence-cost share and
+average/maximum gains (Section 7.2's prose numbers).
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BenchRow:
+    """One benchmark × variant measurement."""
+
+    benchmark: str
+    variant: str
+    cycles: int
+    fence_cycles: int = 0
+    total_cycles: int = 0
+    checksum: int | None = None
+
+    @property
+    def fence_share(self) -> float:
+        if not self.total_cycles:
+            return 0.0
+        return self.fence_cycles / self.total_cycles
+
+
+@dataclass
+class BenchTable:
+    """All measurements of one experiment, keyed by (bench, variant)."""
+
+    name: str
+    baseline: str = "qemu"
+    rows: dict[tuple[str, str], BenchRow] = field(default_factory=dict)
+
+    def add(self, row: BenchRow) -> None:
+        self.rows[(row.benchmark, row.variant)] = row
+
+    # ------------------------------------------------------------------
+    def benchmarks(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for bench, _ in self.rows:
+            seen.setdefault(bench)
+        return list(seen)
+
+    def variants(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for _, variant in self.rows:
+            seen.setdefault(variant)
+        return list(seen)
+
+    def cycles(self, benchmark: str, variant: str) -> int:
+        return self.rows[(benchmark, variant)].cycles
+
+    # ------------------------------------------------------------------
+    def relative_runtime(self, benchmark: str, variant: str) -> float:
+        """Run time relative to the baseline (Figure 12's y axis)."""
+        return self.cycles(benchmark, variant) / \
+            self.cycles(benchmark, self.baseline)
+
+    def speedup(self, benchmark: str, variant: str) -> float:
+        """Baseline time / variant time (Figures 13-14's y axis)."""
+        return self.cycles(benchmark, self.baseline) / \
+            self.cycles(benchmark, variant)
+
+    def gain(self, benchmark: str, variant: str) -> float:
+        """Fractional improvement over the baseline."""
+        return 1.0 - self.relative_runtime(benchmark, variant)
+
+    # ------------------------------------------------------------------
+    def average_gain(self, variant: str) -> float:
+        return statistics.mean(
+            self.gain(b, variant) for b in self.benchmarks())
+
+    def max_gain(self, variant: str) -> float:
+        return max(self.gain(b, variant) for b in self.benchmarks())
+
+    def average_relative(self, variant: str) -> float:
+        return statistics.mean(
+            self.relative_runtime(b, variant)
+            for b in self.benchmarks())
+
+    def average_fence_share(self, variant: str) -> float:
+        return statistics.mean(
+            self.rows[(b, variant)].fence_share
+            for b in self.benchmarks())
+
+    def max_fence_share(self, variant: str) -> tuple[str, float]:
+        best = max(self.benchmarks(),
+                   key=lambda b: self.rows[(b, variant)].fence_share)
+        return best, self.rows[(best, variant)].fence_share
+
+    def checksums_consistent(self, benchmark: str) -> bool:
+        values = {
+            row.checksum for (bench, _), row in self.rows.items()
+            if bench == benchmark and row.checksum is not None
+        }
+        return len(values) <= 1

@@ -1,0 +1,59 @@
+"""Consistency axioms shared by all three memory models.
+
+Section 5.2 ("Common features"): both x86 and Arm — and the proposed
+TCG IR model — enforce per-location coherence (sc-per-loc) and RMW
+atomicity.  These predicates operate on candidate executions.
+"""
+
+from __future__ import annotations
+
+from .execution import Execution
+from .relations import Rel
+
+
+def sc_per_loc(ex: Execution) -> bool:
+    """Coherence: ``(po|loc ∪ rf ∪ co ∪ fr)+`` is irreflexive."""
+    rel = ex.po_loc | ex.rf | ex.co | ex.fr
+    return rel.is_acyclic()
+
+
+def atomicity(ex: Execution) -> bool:
+    """No write intervenes inside a successful RMW:
+    ``rmw ∩ (fre ; coe) = ∅``."""
+    violation = ex.rmw & (ex.fre @ ex.coe)
+    return not violation
+
+
+def rf_well_formed(ex: Execution) -> bool:
+    """Sanity: every read has exactly one rf source with matching
+    location and value.  The enumerator guarantees this; models assert
+    it cheaply so hand-built executions are caught."""
+    seen: dict[int, int] = {}
+    for src, dst in ex.rf.pairs:
+        if dst in seen:
+            return False
+        seen[dst] = src
+        wsrc, rdst = ex.events[src], ex.events[dst]
+        if not wsrc.is_write() or not rdst.is_read():
+            return False
+        if wsrc.loc != rdst.loc or wsrc.val != rdst.val:
+            return False
+    return set(seen) == set(ex.reads)
+
+
+def co_well_formed(ex: Execution) -> bool:
+    """Sanity: co totally orders writes per location, init first."""
+    by_loc: dict[str, list[int]] = {}
+    for eid in ex.writes:
+        by_loc.setdefault(ex.events[eid].loc, []).append(eid)
+    for writes in by_loc.values():
+        per_loc = Rel(
+            (a, b) for a, b in ex.co.pairs
+            if a in writes and b in writes
+        )
+        if not per_loc.is_total_on(writes):
+            return False
+        for a, b in ex.co.pairs:
+            if ex.events[b].is_init:
+                return False
+    return True

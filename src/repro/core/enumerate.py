@@ -1,0 +1,370 @@
+"""Candidate-execution enumeration for litmus programs.
+
+Given a :class:`~repro.core.program.Program`, this module produces every
+candidate execution graph, in the style of the herd7 simulator:
+
+1. **Value oracle** — each thread is executed symbolically; every load
+   (and RMW read) branches over the values any write in the program
+   could give to that location.  This fixes branch outcomes and RMW
+   success/failure, yielding a set of per-thread *traces*.
+2. **reads-from** — every read is matched with every same-location,
+   same-value write (including the implicit initialization writes).
+3. **coherence** — every per-location total order of writes, with the
+   initialization write pinned first.
+
+Consistency filtering against a memory model and behaviour collection
+are thin wrappers at the bottom.  Dependencies (data/ctrl) are tracked
+during the symbolic execution because the Arm model consumes them.
+
+Address dependencies are not modelled: the litmus AST has no computed
+addresses, which mirrors the paper's mapping-verification corpus.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import ModelError
+from .events import INIT_TID, Event, Mode, RmwFlavor
+from .execution import Execution
+from .program import FenceOp, If, Load, Op, Program, Rmw, Store
+from .relations import Rel, total_order_extensions
+
+#: Safety valve: enumeration aborts (with a clear error) past this many
+#: candidate executions, so a malformed "litmus" program cannot hang the
+#: test suite.
+DEFAULT_CANDIDATE_LIMIT = 2_000_000
+
+
+@dataclass
+class _Spec:
+    """An event-to-be, local to one thread trace (pre eid assignment)."""
+
+    kind: str
+    loc: str | None = None
+    val: int | None = None
+    fence: object = None
+    mode: Mode = Mode.PLAIN
+    rmw_flavor: RmwFlavor | None = None
+    partner: int | None = None  # trace-local index of the rmw partner
+    tag: str = ""
+
+
+@dataclass
+class _Trace:
+    """One symbolic path through a thread."""
+
+    specs: list[_Spec] = field(default_factory=list)
+    data: set[tuple[int, int]] = field(default_factory=set)
+    ctrl: set[tuple[int, int]] = field(default_factory=set)
+    regs: dict[str, int] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Value domains
+# ----------------------------------------------------------------------
+def location_domains(program: Program) -> dict[str, frozenset[int]]:
+    """All values each location might hold at any point.
+
+    Constant stores and RMW news contribute directly; a store of a
+    register makes the location's domain the global domain (computed to
+    a fixpoint), which is conservative but always sound.
+    """
+    domains: dict[str, set[int]] = {
+        loc: {program.init_value(loc)} for loc in program.locations()
+    }
+    reg_stores: set[str] = set()
+
+    def visit(ops: tuple[Op, ...]) -> None:
+        for op in ops:
+            if isinstance(op, Store):
+                if isinstance(op.value, int):
+                    domains[op.loc].add(op.value)
+                else:
+                    reg_stores.add(op.loc)
+            elif isinstance(op, Rmw):
+                domains[op.loc].add(op.new)
+            elif isinstance(op, If):
+                visit(tuple(op.then_ops))
+                visit(tuple(op.else_ops))
+
+    for ops in program.threads:
+        visit(ops)
+
+    if reg_stores:
+        # Fixpoint: register values come from loads, so a reg-valued
+        # store can deposit any currently-known value anywhere.
+        for _ in range(len(domains) + 1):
+            universe = set().union(*domains.values())
+            changed = False
+            for loc in reg_stores:
+                if not universe <= domains[loc]:
+                    domains[loc] |= universe
+                    changed = True
+            if not changed:
+                break
+    return {loc: frozenset(vals) for loc, vals in domains.items()}
+
+
+# ----------------------------------------------------------------------
+# Per-thread symbolic execution
+# ----------------------------------------------------------------------
+def _mode_for_rmw_read(op: Rmw) -> Mode:
+    if op.flavor is RmwFlavor.TCG:
+        return Mode.SC
+    if op.flavor in (RmwFlavor.AMO, RmwFlavor.LXSX) and op.acq:
+        return Mode.ACQ
+    return Mode.PLAIN
+
+
+def _mode_for_rmw_write(op: Rmw) -> Mode:
+    if op.flavor is RmwFlavor.TCG:
+        return Mode.SC
+    if op.flavor in (RmwFlavor.AMO, RmwFlavor.LXSX) and op.rel:
+        return Mode.REL
+    return Mode.PLAIN
+
+
+def thread_traces(ops: tuple[Op, ...],
+                  domains: dict[str, frozenset[int]]) -> list[_Trace]:
+    """All oracle-driven symbolic paths through one thread."""
+    results: list[_Trace] = []
+
+    def run(pending: list[Op], trace: _Trace,
+            regs: dict[str, tuple[int, int | None]],
+            ctrl_srcs: frozenset[int]) -> None:
+        if not pending:
+            results.append(_Trace(
+                specs=list(trace.specs),
+                data=set(trace.data),
+                ctrl=set(trace.ctrl),
+                regs={r: v for r, (v, _) in regs.items()},
+            ))
+            return
+        op, rest = pending[0], pending[1:]
+        idx = len(trace.specs)
+
+        def emit(spec: _Spec) -> int:
+            trace.specs.append(spec)
+            for src in ctrl_srcs:
+                trace.ctrl.add((src, len(trace.specs) - 1))
+            return len(trace.specs) - 1
+
+        def retract(count: int, data_before: set, ctrl_before: set) -> None:
+            del trace.specs[idx:]
+            trace.data.intersection_update(data_before)
+            trace.ctrl.intersection_update(ctrl_before)
+
+        data_before = set(trace.data)
+        ctrl_before = set(trace.ctrl)
+
+        if isinstance(op, FenceOp):
+            emit(_Spec(kind="F", fence=op.kind, tag=str(op)))
+            run(rest, trace, regs, ctrl_srcs)
+            retract(idx, data_before, ctrl_before)
+
+        elif isinstance(op, Store):
+            if isinstance(op.value, int):
+                val, src = op.value, None
+            else:
+                val, src = regs[op.value]
+            eidx = emit(_Spec(kind="W", loc=op.loc, val=val,
+                              mode=op.mode, tag=str(op)))
+            if src is not None:
+                trace.data.add((src, eidx))
+            if op.dep is not None:
+                __, dep_src = regs[op.dep]
+                if dep_src is not None:
+                    trace.data.add((dep_src, eidx))
+            run(rest, trace, regs, ctrl_srcs)
+            retract(idx, data_before, ctrl_before)
+
+        elif isinstance(op, Load):
+            for val in sorted(domains[op.loc]):
+                emit(_Spec(kind="R", loc=op.loc, val=val,
+                           mode=op.mode, tag=str(op)))
+                new_regs = dict(regs)
+                new_regs[op.reg] = (val, idx)
+                run(rest, trace, new_regs, ctrl_srcs)
+                retract(idx, data_before, ctrl_before)
+
+        elif isinstance(op, Rmw):
+            for val in sorted(domains[op.loc]):
+                rmode = _mode_for_rmw_read(op)
+                if val == op.expect:
+                    emit(_Spec(kind="R", loc=op.loc, val=val, mode=rmode,
+                               rmw_flavor=op.flavor, partner=idx + 1,
+                               tag=str(op)))
+                    emit(_Spec(kind="W", loc=op.loc, val=op.new,
+                               mode=_mode_for_rmw_write(op),
+                               rmw_flavor=op.flavor, partner=idx,
+                               tag=str(op)))
+                else:
+                    emit(_Spec(kind="R", loc=op.loc, val=val, mode=rmode,
+                               rmw_flavor=op.flavor, tag=str(op)))
+                new_regs = dict(regs)
+                if op.out:
+                    new_regs[op.out] = (val, idx)
+                run(rest, trace, new_regs, ctrl_srcs)
+                retract(idx, data_before, ctrl_before)
+
+        elif isinstance(op, If):
+            val, src = regs[op.reg]
+            branch = list(op.then_ops) if val == op.value \
+                else list(op.else_ops)
+            new_ctrl = ctrl_srcs | ({src} if src is not None else set())
+            run(branch + list(rest), trace, regs, new_ctrl)
+            retract(idx, data_before, ctrl_before)
+
+        else:  # pragma: no cover - defensive
+            raise ModelError(f"unknown op {op!r}")
+
+    run(list(ops), _Trace(), {}, frozenset())
+    return results
+
+
+# ----------------------------------------------------------------------
+# Whole-program enumeration
+# ----------------------------------------------------------------------
+def enumerate_executions(program: Program,
+                         limit: int = DEFAULT_CANDIDATE_LIMIT):
+    """Yield every candidate :class:`Execution` of ``program``."""
+    domains = location_domains(program)
+    per_thread = [thread_traces(ops, domains) for ops in program.threads]
+    locations = sorted(program.locations())
+    produced = 0
+
+    for combo in itertools.product(*per_thread):
+        # --- materialize events -------------------------------------
+        events: dict[int, Event] = {}
+        next_eid = 0
+        init_writes: dict[str, int] = {}
+        for loc in locations:
+            events[next_eid] = Event(
+                eid=next_eid, tid=INIT_TID, idx=next_eid, kind="W",
+                loc=loc, val=program.init_value(loc), is_init=True,
+                tag=f"init {loc}",
+            )
+            init_writes[loc] = next_eid
+            next_eid += 1
+
+        po_pairs: list[tuple[int, int]] = []
+        data_pairs: list[tuple[int, int]] = []
+        ctrl_pairs: list[tuple[int, int]] = []
+        reg_obs: set[tuple[str, int]] = set()
+        ok = True
+
+        for tid, trace in enumerate(combo):
+            base = next_eid
+            for i, spec in enumerate(trace.specs):
+                partner = base + spec.partner \
+                    if spec.partner is not None else None
+                events[next_eid] = Event(
+                    eid=next_eid, tid=tid, idx=i, kind=spec.kind,
+                    loc=spec.loc, val=spec.val, fence=spec.fence,
+                    mode=spec.mode, rmw_flavor=spec.rmw_flavor,
+                    rmw_partner=partner, tag=spec.tag,
+                )
+                next_eid += 1
+            n = len(trace.specs)
+            po_pairs.extend(
+                (base + i, base + j)
+                for i in range(n) for j in range(i + 1, n)
+            )
+            data_pairs.extend((base + a, base + b) for a, b in trace.data)
+            ctrl_pairs.extend((base + a, base + b) for a, b in trace.ctrl)
+            for reg, val in trace.regs.items():
+                reg_obs.add((f"T{tid}:{reg}", val))
+
+        if not ok:  # pragma: no cover - placeholder for future pruning
+            continue
+
+        po = Rel(po_pairs)
+        data = Rel(data_pairs)
+        ctrl = Rel(ctrl_pairs)
+        regs = frozenset(reg_obs)
+
+        # --- rf choices ----------------------------------------------
+        reads = [e for e in events.values() if e.is_read()]
+        writes_by_loc: dict[str, list[Event]] = {}
+        for ev in events.values():
+            if ev.is_write():
+                writes_by_loc.setdefault(ev.loc, []).append(ev)
+
+        rf_options: list[list[int]] = []
+        feasible = True
+        for rd in reads:
+            srcs = [
+                w.eid for w in writes_by_loc.get(rd.loc, ())
+                if w.val == rd.val and w.eid != rd.eid
+            ]
+            if not srcs:
+                feasible = False
+                break
+            rf_options.append(srcs)
+        if not feasible:
+            continue
+
+        co_options = [
+            list(total_order_extensions(
+                [w.eid for w in writes_by_loc[loc]],
+                first=init_writes[loc],
+            ))
+            for loc in locations if loc in writes_by_loc
+        ]
+
+        for rf_choice in itertools.product(*rf_options):
+            rf = Rel(
+                (src, rd.eid) for src, rd in zip(rf_choice, reads)
+            )
+            for co_parts in itertools.product(*co_options):
+                produced += 1
+                if produced > limit:
+                    raise ModelError(
+                        f"{program.name}: candidate executions exceed "
+                        f"limit {limit}"
+                    )
+                co = Rel(frozenset().union(
+                    *(part.pairs for part in co_parts)
+                )) if co_parts else Rel()
+                yield Execution(
+                    events=events, po=po, rf=rf, co=co,
+                    data=data, ctrl=ctrl, regs=regs,
+                )
+
+
+# ----------------------------------------------------------------------
+# Consistency and behaviour
+# ----------------------------------------------------------------------
+_BEHAVIOR_CACHE: dict[tuple[Program, str], frozenset] = {}
+
+
+def consistent_executions(program: Program, model) -> list[Execution]:
+    """All candidate executions consistent in ``model``."""
+    return [
+        ex for ex in enumerate_executions(program)
+        if model.is_consistent(ex)
+    ]
+
+
+def behaviors(program: Program, model) -> frozenset:
+    """The set of ``full_behavior`` values of consistent executions.
+
+    Results are cached: programs are immutable and models are stateless
+    singletons, and the verifier asks for the same source behaviours for
+    many target mappings.
+    """
+    key = (program, model.name)
+    cached = _BEHAVIOR_CACHE.get(key)
+    if cached is None:
+        cached = frozenset(
+            ex.full_behavior for ex in consistent_executions(program, model)
+        )
+        _BEHAVIOR_CACHE[key] = cached
+    return cached
+
+
+def clear_behavior_cache() -> None:
+    """Drop memoized behaviours (used by tests that tweak models)."""
+    _BEHAVIOR_CACHE.clear()

@@ -1,0 +1,158 @@
+"""Events of axiomatic executions.
+
+An execution of a concurrent program is a graph whose nodes are *events*
+(Section 5.1 of the paper): reads (R), writes (W) and fences (F),
+possibly carrying ordering annotations (acquire ``A``, acquirePC ``Q``,
+release ``L``, and the SC annotation carried by TCG RMW events).
+
+The same event vocabulary serves the three languages involved in the
+translation pipeline — x86, TCG IR, and Arm — so mapped programs can be
+compared event-for-event by the verifier.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Arch(enum.Enum):
+    """The language a litmus program (and its events) belongs to."""
+
+    X86 = "x86"
+    TCG = "tcg"
+    ARM = "arm"
+
+
+class Mode(enum.Enum):
+    """Ordering annotation on a memory access event.
+
+    * ``PLAIN`` — ordinary access.
+    * ``ACQ`` — Arm acquire (``A``), e.g. the load of ``ldaxr``/``casal``.
+    * ``ACQ_PC`` — Arm acquirePC (``Q``), e.g. ``ldapr``.
+    * ``REL`` — Arm release (``L``), e.g. ``stlr``/the store of ``casal``.
+    * ``SC`` — the SC-annotated events of TCG IR RMW accesses
+      (``Rsc``/``Wsc`` in Figure 6).
+    """
+
+    PLAIN = "plain"
+    ACQ = "acq"
+    ACQ_PC = "acqpc"
+    REL = "rel"
+    SC = "sc"
+
+
+class Fence(enum.Enum):
+    """Fence instruction kinds across the three languages (Figure 1)."""
+
+    # x86
+    MFENCE = "MFENCE"
+    # TCG IR (Frr orders read-read, Fwm orders write-any, etc.)
+    FRR = "Frr"
+    FRW = "Frw"
+    FRM = "Frm"
+    FWW = "Fww"
+    FWR = "Fwr"
+    FWM = "Fwm"
+    FMR = "Fmr"
+    FMW = "Fmw"
+    FMM = "Fmm"
+    FACQ = "Facq"
+    FREL = "Frel"
+    FSC = "Fsc"
+    # Arm
+    DMBFF = "DMBFF"
+    DMBLD = "DMBLD"
+    DMBST = "DMBST"
+
+
+#: TCG fences, keyed by (predecessor-class, successor-class) where the
+#: classes are "r" (reads), "w" (writes), "m" (both).  Used by the TCG
+#: model's ``ord`` relation and by the fence-merging correctness rules.
+TCG_FENCE_ORDERS: dict[Fence, tuple[str, str]] = {
+    Fence.FRR: ("r", "r"),
+    Fence.FRW: ("r", "w"),
+    Fence.FRM: ("r", "m"),
+    Fence.FWW: ("w", "w"),
+    Fence.FWR: ("w", "r"),
+    Fence.FWM: ("w", "m"),
+    Fence.FMR: ("m", "r"),
+    Fence.FMW: ("m", "w"),
+    Fence.FMM: ("m", "m"),
+}
+
+
+class RmwFlavor(enum.Enum):
+    """How an RMW pair was produced, which decides its model treatment.
+
+    * ``X86`` — a ``LOCK``-prefixed x86 RMW; acts as a full fence.
+    * ``TCG`` — a TCG IR RMW; generates ``Rsc``/``Wsc`` events.
+    * ``AMO`` — an Arm single-instruction RMW (``RMW1``, e.g. ``casal``).
+    * ``LXSX`` — an Arm exclusive-pair RMW (``RMW2``).
+    """
+
+    X86 = "x86"
+    TCG = "tcg"
+    AMO = "amo"
+    LXSX = "lxsx"
+
+
+@dataclass
+class Event:
+    """One node of an execution graph.
+
+    ``eid`` is unique within an execution.  ``tid``/``idx`` give the
+    issuing thread and the event's program-order position in it; the
+    initialization writes use ``tid == INIT_TID``.
+    """
+
+    eid: int
+    tid: int
+    idx: int
+    kind: str  # "R", "W" or "F"
+    loc: str | None = None
+    val: int | None = None
+    fence: Fence | None = None
+    mode: Mode = Mode.PLAIN
+    rmw_flavor: RmwFlavor | None = None
+    #: eid of the paired event of a *successful* RMW (R points to W and
+    #: vice versa); None for plain accesses and failed RMWs.
+    rmw_partner: int | None = None
+    is_init: bool = False
+    #: Free-form origin tag (source statement) for diagnostics.
+    tag: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------
+    def is_read(self) -> bool:
+        return self.kind == "R"
+
+    def is_write(self) -> bool:
+        return self.kind == "W"
+
+    def is_fence(self) -> bool:
+        return self.kind == "F"
+
+    def is_memory(self) -> bool:
+        return self.kind in ("R", "W")
+
+    def __hash__(self) -> int:
+        return hash(self.eid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_fence():
+            core = self.fence.value if self.fence else "F?"
+        else:
+            ann = {
+                Mode.PLAIN: "",
+                Mode.ACQ: "^A",
+                Mode.ACQ_PC: "^Q",
+                Mode.REL: "^L",
+                Mode.SC: "^sc",
+            }[self.mode]
+            core = f"{self.kind}{ann}({self.loc},{self.val})"
+        rmw = f"[{self.rmw_flavor.value}]" if self.rmw_flavor else ""
+        return f"e{self.eid}:T{self.tid}:{core}{rmw}"
+
+
+#: Thread id used for initialization writes.
+INIT_TID = -1

@@ -1,0 +1,222 @@
+"""Execution graphs: events plus po/rf/co and derived relations.
+
+This realizes Section 5.1 of the paper: an execution
+``X = <E, po, rf, co>`` with the derived relations ``fr``, the external
+variants ``rfe``/``coe``/``fre``, the ``rmw`` pairing relation, and the
+behaviour function ``Behav`` (final values of all memory locations).
+
+Dependency relations (``data``, ``addr``, ``ctrl``) are carried along
+because the Arm model orders some dependent accesses (``dob``); the x86
+and TCG models ignore them — which is exactly why TCG may legally erase
+false dependencies (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import FrozenSet
+
+from .events import Event, Fence, Mode, RmwFlavor
+from .relations import Rel
+
+Behavior = FrozenSet[tuple[str, int]]
+
+
+@dataclass
+class Execution:
+    """An immutable candidate execution.
+
+    The relations are over event ids; ``events`` maps ids to
+    :class:`~repro.core.events.Event` objects.  Derived relations are
+    cached: executions are never mutated after construction.
+    """
+
+    events: dict[int, Event]
+    po: Rel
+    rf: Rel
+    co: Rel
+    data: Rel = field(default_factory=Rel)
+    addr: Rel = field(default_factory=Rel)
+    ctrl: Rel = field(default_factory=Rel)
+    #: Final register values, as ("T<tid>:<reg>", value) pairs.  These
+    #: stand in for the paper's "augment the program with additional
+    #: shared variables to observe thread-local values" device, without
+    #: polluting the event graph.
+    regs: Behavior = frozenset()
+
+    # ------------------------------------------------------------------
+    # Event classes
+    # ------------------------------------------------------------------
+    @cached_property
+    def all_ids(self) -> frozenset[int]:
+        return frozenset(self.events)
+
+    @cached_property
+    def reads(self) -> frozenset[int]:
+        return frozenset(e for e, ev in self.events.items() if ev.is_read())
+
+    @cached_property
+    def writes(self) -> frozenset[int]:
+        return frozenset(e for e, ev in self.events.items() if ev.is_write())
+
+    @cached_property
+    def memory_events(self) -> frozenset[int]:
+        return self.reads | self.writes
+
+    def fences(self, *kinds: Fence) -> frozenset[int]:
+        """Event ids of fences of any of the given kinds."""
+        wanted = set(kinds)
+        return frozenset(
+            e for e, ev in self.events.items()
+            if ev.is_fence() and ev.fence in wanted
+        )
+
+    def with_mode(self, kind: str, mode: Mode) -> frozenset[int]:
+        """Memory events of ``kind`` ("R"/"W") carrying annotation ``mode``."""
+        return frozenset(
+            e for e, ev in self.events.items()
+            if ev.kind == kind and ev.mode == mode
+        )
+
+    @cached_property
+    def acquires(self) -> frozenset[int]:
+        """Arm ``A`` events (acquire reads)."""
+        return self.with_mode("R", Mode.ACQ)
+
+    @cached_property
+    def acquire_pcs(self) -> frozenset[int]:
+        """Arm ``Q`` events (acquirePC reads, e.g. from ``ldapr``)."""
+        return self.with_mode("R", Mode.ACQ_PC)
+
+    @cached_property
+    def releases(self) -> frozenset[int]:
+        """Arm ``L`` events (release writes)."""
+        return self.with_mode("W", Mode.REL)
+
+    @cached_property
+    def sc_reads(self) -> frozenset[int]:
+        """TCG ``Rsc`` events."""
+        return self.with_mode("R", Mode.SC)
+
+    @cached_property
+    def sc_writes(self) -> frozenset[int]:
+        """TCG ``Wsc`` events."""
+        return self.with_mode("W", Mode.SC)
+
+    # ------------------------------------------------------------------
+    # RMW relations
+    # ------------------------------------------------------------------
+    @cached_property
+    def rmw(self) -> Rel:
+        """Pairs of rmw-related (read, write) events of successful RMWs."""
+        pairs = []
+        for eid, ev in self.events.items():
+            if ev.is_read() and ev.rmw_partner is not None:
+                pairs.append((eid, ev.rmw_partner))
+        return Rel(pairs)
+
+    def rmw_of_flavor(self, *flavors: RmwFlavor) -> Rel:
+        wanted = set(flavors)
+        return Rel(
+            (r, w) for r, w in self.rmw.pairs
+            if self.events[r].rmw_flavor in wanted
+        )
+
+    @cached_property
+    def amo(self) -> Rel:
+        """Arm single-instruction RMW pairs (``RMW1``)."""
+        return self.rmw_of_flavor(RmwFlavor.AMO)
+
+    @cached_property
+    def lxsx(self) -> Rel:
+        """Arm load/store-exclusive RMW pairs (``RMW2``)."""
+        return self.rmw_of_flavor(RmwFlavor.LXSX)
+
+    # ------------------------------------------------------------------
+    # Derived communication relations
+    # ------------------------------------------------------------------
+    @cached_property
+    def fr(self) -> Rel:
+        """from-read: ``rf^-1 ; co``."""
+        return self.rf.inv() @ self.co
+
+    def _external(self, rel: Rel) -> Rel:
+        """Strip same-thread pairs (po-related or init-involving pairs on
+        the same thread never occur; externality is cross-thread)."""
+        return Rel(
+            (a, b) for a, b in rel.pairs
+            if self.events[a].tid != self.events[b].tid
+        )
+
+    @cached_property
+    def rfe(self) -> Rel:
+        return self._external(self.rf)
+
+    @cached_property
+    def rfi(self) -> Rel:
+        return self.rf - self.rfe
+
+    @cached_property
+    def coe(self) -> Rel:
+        return self._external(self.co)
+
+    @cached_property
+    def fre(self) -> Rel:
+        return self._external(self.fr)
+
+    @cached_property
+    def po_loc(self) -> Rel:
+        """po restricted to same-location memory accesses."""
+        return Rel(
+            (a, b) for a, b in self.po.pairs
+            if self.events[a].is_memory() and self.events[b].is_memory()
+            and self.events[a].loc == self.events[b].loc
+        )
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    @cached_property
+    def behavior(self) -> Behavior:
+        """Final value of every location: writes with no co-successor."""
+        out: dict[str, int] = {}
+        co_sources = self.co.domain()
+        for eid, ev in self.events.items():
+            if ev.is_write() and eid not in co_sources:
+                assert ev.loc is not None and ev.val is not None
+                out[ev.loc] = ev.val
+        return frozenset(out.items())
+
+    @cached_property
+    def full_behavior(self) -> Behavior:
+        """Memory behaviour plus observed final register values.
+
+        This is the quantity compared by the Theorem-1 verifier: two
+        executions "agree" when both the final memory contents and every
+        observed register match.
+        """
+        return self.behavior | self.regs
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def identity(self, ids: frozenset[int] | set[int]) -> Rel:
+        """``[A]`` over a subset of this execution's events."""
+        return Rel.identity(ids)
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump, for verifier witnesses."""
+        lines = []
+        by_tid: dict[int, list[Event]] = {}
+        for ev in self.events.values():
+            by_tid.setdefault(ev.tid, []).append(ev)
+        for tid in sorted(by_tid):
+            evs = sorted(by_tid[tid], key=lambda e: e.idx)
+            lines.append(
+                f"  T{tid}: " + "; ".join(repr(e) for e in evs)
+            )
+        lines.append(f"  rf: {sorted(self.rf.pairs)}")
+        lines.append(f"  co: {sorted(self.co.pairs)}")
+        lines.append(f"  behavior: {dict(sorted(self.behavior))}")
+        return "\n".join(lines)

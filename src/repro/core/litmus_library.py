@@ -1,0 +1,435 @@
+"""Litmus tests: every example from the paper plus a classic corpus.
+
+The x86-level tests drive mapping verification (Theorem 1); the
+TCG-level tests (LB-IR, MP-IR, FMR, Figure 9) drive the minimality and
+transformation-correctness experiments.
+
+Outcome conventions: an *outcome* is a set of (key, value) pairs where a
+key is either a shared location (final value) or ``"T<tid>:<reg>"`` (a
+final register).  An outcome "shows up" in a behaviour set when some
+behaviour contains all its pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import Arch, Fence, RmwFlavor
+from .program import FenceOp, If, Load, Program, Rmw, Store
+
+Outcome = frozenset
+
+
+def outcome(**kv: int) -> Outcome:
+    """Build an outcome; ``T0_a=1`` keys become ``"T0:a"``."""
+    return frozenset(
+        (key.replace("_", ":", 1) if key.startswith("T") else key, val)
+        for key, val in kv.items()
+    )
+
+
+def shows(behaviors: frozenset, out: Outcome) -> bool:
+    """True when some behaviour exhibits the outcome."""
+    return any(out <= beh for beh in behaviors)
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """A program plus the outcomes its source model forbids/allows."""
+
+    program: Program
+    #: Outcomes the source model must forbid (and hence any correct
+    #: translation must forbid too).
+    forbidden: tuple[Outcome, ...] = ()
+    #: Outcomes the source model must allow (sanity, not correctness).
+    allowed: tuple[Outcome, ...] = ()
+    description: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+# ----------------------------------------------------------------------
+# Small constructors (x86 level)
+# ----------------------------------------------------------------------
+def W(loc: str, value: int | str) -> Store:
+    return Store(loc, value)
+
+
+def R(reg: str, loc: str) -> Load:
+    return Load(reg, loc)
+
+
+def MFENCE() -> FenceOp:
+    return FenceOp(Fence.MFENCE)
+
+
+def CAS(loc: str, expect: int, new: int, out: str | None = None) -> Rmw:
+    return Rmw(loc, expect, new, RmwFlavor.X86, out=out)
+
+
+def x86(name: str, *threads: tuple) -> Program:
+    return Program(name=name, arch=Arch.X86, threads=tuple(threads))
+
+
+def tcg(name: str, *threads: tuple) -> Program:
+    return Program(name=name, arch=Arch.TCG, threads=tuple(threads))
+
+
+# ----------------------------------------------------------------------
+# Paper examples — Section 2.1 and 3.2/3.3
+# ----------------------------------------------------------------------
+#: Message passing (Section 2.1).  Weak outcome a=1,b=0 is allowed on
+#: Arm without fences but forbidden on x86.
+MP = LitmusTest(
+    program=x86(
+        "MP",
+        (W("X", 1), W("Y", 1)),
+        (R("a", "Y"), R("b", "X")),
+    ),
+    forbidden=(outcome(T1_a=1, T1_b=0),),
+    allowed=(
+        outcome(T1_a=0, T1_b=0),
+        outcome(T1_a=1, T1_b=1),
+        outcome(T1_a=0, T1_b=1),
+    ),
+    description="message passing: load of Y=1 implies load of X=1 on x86",
+)
+
+#: Store buffering — the weak outcome IS allowed on x86 (no forbidden
+#: entry); used to check translations don't over-strengthen reports.
+SB = LitmusTest(
+    program=x86(
+        "SB",
+        (W("X", 1), R("a", "Y")),
+        (W("Y", 1), R("b", "X")),
+    ),
+    allowed=(outcome(T0_a=0, T1_b=0),),
+    description="store buffering: a=b=0 allowed even on x86 (TSO)",
+)
+
+#: Store buffering with MFENCEs — now forbidden on x86.
+SB_MFENCE = LitmusTest(
+    program=x86(
+        "SB+mfences",
+        (W("X", 1), MFENCE(), R("a", "Y")),
+        (W("Y", 1), MFENCE(), R("b", "X")),
+    ),
+    forbidden=(outcome(T0_a=0, T1_b=0),),
+    description="SB with full fences: a=b=0 forbidden",
+)
+
+#: Load buffering — forbidden on x86 (no load-store reordering).
+LB = LitmusTest(
+    program=x86(
+        "LB",
+        (R("a", "X"), W("Y", 1)),
+        (R("b", "Y"), W("X", 1)),
+    ),
+    forbidden=(outcome(T0_a=1, T1_b=1),),
+    description="load buffering: a=b=1 forbidden on x86",
+)
+
+#: MPQ (Section 3.2): QEMU's RMW1_AL lowering admits a=1 with a failed
+#: RMW (final X=1), which x86 forbids.
+MPQ = LitmusTest(
+    program=x86(
+        "MPQ",
+        (W("X", 1), W("Y", 1)),
+        (R("a", "Y"), If("a", 1, then_ops=(CAS("X", 1, 2),))),
+    ),
+    forbidden=(outcome(T1_a=1, X=1),),
+    allowed=(outcome(T1_a=1, X=2), outcome(T1_a=0)),
+    description="Qemu RMW1_AL bug: read + read-acquire reorder on Arm",
+)
+
+#: SBQ (Section 3.2): QEMU's RMW2_AL lowering cannot order the
+#: store→load pairs, admitting Z=U=1, a=b=0.
+SBQ = LitmusTest(
+    program=x86(
+        "SBQ",
+        (W("X", 1), CAS("Z", 0, 1), R("a", "Y")),
+        (W("Y", 1), CAS("U", 0, 1), R("b", "X")),
+    ),
+    forbidden=(outcome(Z=1, U=1, T0_a=0, T1_b=0),),
+    description="Qemu RMW2_AL bug: successful RMW must act as MFENCE",
+)
+
+#: SBAL (Section 3.3): breaks the intended Arm-Cats direct mapping
+#: under the ORIGINAL Arm model; fixed by the strengthened bob.
+SBAL = LitmusTest(
+    program=x86(
+        "SBAL",
+        (CAS("X", 0, 1), R("a", "Y")),
+        (CAS("Y", 0, 1), R("b", "X")),
+    ),
+    forbidden=(outcome(X=1, Y=1, T0_a=0, T1_b=0),),
+    description="casal must be a full barrier for x86 RMW emulation",
+)
+
+
+# ----------------------------------------------------------------------
+# Paper examples — TCG IR level (Sections 3.2, 5.4)
+# ----------------------------------------------------------------------
+def _f(kind: Fence) -> FenceOp:
+    return FenceOp(kind)
+
+
+#: FMR (Section 3.2): the TCG source program; Fmr + Frw order X=3 before
+#: Z=2 through the read of Y, so a=2,c=3 is forbidden...
+FMR_SOURCE = Program(
+    name="FMR-source",
+    arch=Arch.TCG,
+    threads=(
+        (W("X", 3), _f(Fence.FMR), W("Y", 2), R("a", "Y"),
+         _f(Fence.FRW), W("Z", 2)),
+        (R("z", "Z"),
+         If("z", 2, then_ops=(_f(Fence.FRW), W("X", 4), R("c", "X")))),
+    ),
+)
+
+#: ...but after RAW constant propagation removes the read of Y, the
+#: ordering chain collapses and a=2,c=3 becomes allowed: the RAW
+#: transformation is incorrect in the presence of Fmr.
+FMR_TRANSFORMED = Program(
+    name="FMR-transformed",
+    arch=Arch.TCG,
+    threads=(
+        (W("X", 3), _f(Fence.FMR), W("Y", 2),
+         _f(Fence.FRW), W("Z", 2)),
+        (R("z", "Z"),
+         If("z", 2, then_ops=(_f(Fence.FRW), W("X", 4), R("c", "X")))),
+    ),
+)
+
+#: The FMR outcome in question (register a folded to 2 by the transform,
+#: so only c and the final X value are compared).
+FMR_OUTCOME = outcome(T1_c=3, X=3)
+
+#: LB-IR (Figure 8): the trailing Frw after each load forbids a=b=1.
+LB_IR = LitmusTest(
+    program=tcg(
+        "LB-IR",
+        (R("a", "X"), _f(Fence.FRW), W("Y", 1)),
+        (R("b", "Y"), _f(Fence.FRW), W("X", 1)),
+    ),
+    forbidden=(outcome(T0_a=1, T1_b=1),),
+    description="Figure 8: ld-st order needs at least Frw",
+)
+
+#: MP-IR (Figure 8): leading Fww + trailing Frr forbid a=1,b=0.
+MP_IR = LitmusTest(
+    program=tcg(
+        "MP-IR",
+        (W("X", 1), _f(Fence.FWW), W("Y", 1)),
+        (R("a", "Y"), _f(Fence.FRR), R("b", "X")),
+    ),
+    forbidden=(outcome(T0_a=1, T0_b=0),),
+    description="Figure 8: st-st and ld-ld orders need Fww and Frr",
+)
+
+
+def _tcg_cas(loc: str, expect: int, new: int, out: str | None = None) -> Rmw:
+    return Rmw(loc, expect, new, RmwFlavor.TCG, out=out)
+
+
+#: Figure 9 (left): RMW2 needs its *leading* DMBFF to keep W→RMW order.
+FIG9_WR = LitmusTest(
+    program=tcg(
+        "Fig9-W-RMW",
+        (W("X", 2), _tcg_cas("Y", 0, 1)),
+        (W("Y", 2), _tcg_cas("X", 0, 1)),
+    ),
+    forbidden=(outcome(X=1, Y=1),),
+    description="Figure 9: leading DMBFF around RMW2 is necessary",
+)
+
+#: Figure 9 (right): RMW2 needs its *trailing* DMBFF to keep RMW→R order.
+FIG9_RR = LitmusTest(
+    program=tcg(
+        "Fig9-RMW-R",
+        (_tcg_cas("X", 0, 1), R("a", "Y")),
+        (_tcg_cas("Y", 0, 1), R("b", "X")),
+    ),
+    forbidden=(outcome(T0_a=0, T1_b=0, X=1, Y=1),),
+    description="Figure 9: trailing DMBFF around RMW2 is necessary",
+)
+
+
+# ----------------------------------------------------------------------
+# Classic corpus (x86 level) for broad mapping verification
+# ----------------------------------------------------------------------
+#: MP with an MFENCE in the writer and reader.
+MP_MFENCE = LitmusTest(
+    program=x86(
+        "MP+mfences",
+        (W("X", 1), MFENCE(), W("Y", 1)),
+        (R("a", "Y"), MFENCE(), R("b", "X")),
+    ),
+    forbidden=(outcome(T1_a=1, T1_b=0),),
+)
+
+#: S: write after write vs read — forbidden on x86.
+S_TEST = LitmusTest(
+    program=x86(
+        "S",
+        (W("X", 2), W("Y", 1)),
+        (R("a", "Y"), If("a", 1, then_ops=(W("X", 1),))),
+    ),
+    forbidden=(outcome(T1_a=1, X=2),),
+    description="W(X,2) before W(Y,1); seeing Y=1 then writing X=1 must "
+                "leave X=1 co-last on x86",
+)
+
+#: R: two writers racing plus an observer pair — forbidden on x86.
+R_TEST = LitmusTest(
+    program=x86(
+        "R",
+        (W("X", 1), W("Y", 1)),
+        (W("Y", 2), MFENCE(), R("a", "X")),
+    ),
+    forbidden=(outcome(Y=2, T1_a=0),),
+    description="if Y=2 survives, T1's fenced read must see X=1",
+)
+
+#: 2+2W: coherence-driven; forbidden everywhere with fences.
+W2PLUS2 = LitmusTest(
+    program=x86(
+        "2+2W",
+        (W("X", 1), MFENCE(), W("Y", 2)),
+        (W("Y", 1), MFENCE(), W("X", 2)),
+    ),
+    forbidden=(outcome(X=1, Y=1),),
+)
+
+#: IRIW with fenced readers — forbidden on x86 (multi-copy atomic).
+IRIW_MFENCE = LitmusTest(
+    program=x86(
+        "IRIW+mfences",
+        (W("X", 1),),
+        (W("Y", 1),),
+        (R("a", "X"), MFENCE(), R("b", "Y")),
+        (R("c", "Y"), MFENCE(), R("d", "X")),
+    ),
+    forbidden=(outcome(T2_a=1, T2_b=0, T3_c=1, T3_d=0),),
+)
+
+#: CoRR: coherence of two reads of the same location — forbidden in all
+#: models via sc-per-loc.
+CORR = LitmusTest(
+    program=x86(
+        "CoRR",
+        (W("X", 1),),
+        (R("a", "X"), R("b", "X")),
+    ),
+    forbidden=(outcome(T1_a=1, T1_b=0),),
+)
+
+#: Atomic increment chain: both CAS succeed in some order; the final
+#: value must be 2 when both saw distinct values.
+CAS_CHAIN = LitmusTest(
+    program=x86(
+        "CAS-chain",
+        (CAS("X", 0, 1, out="a"),),
+        (CAS("X", 1, 2, out="b"),),
+    ),
+    forbidden=(outcome(T0_a=0, T1_b=1, X=1),),
+    description="if T0's CAS succeeded first and T1 read 1, X must be 2",
+)
+
+#: RMW acting as a fence for MP-style publication.
+MP_RMW = LitmusTest(
+    program=x86(
+        "MP+rmw",
+        (W("X", 1), CAS("F", 0, 1)),
+        (R("a", "F"), If("a", 1, then_ops=(R("b", "X"),))),
+    ),
+    forbidden=(outcome(T1_a=1, T1_b=0),),
+    description="a successful x86 RMW publishes earlier stores",
+)
+
+#: SB with RMW on one side only (RMW = full fence on x86).
+SB_RMW_ONE = LitmusTest(
+    program=x86(
+        "SB+rmw-one-side",
+        (W("X", 1), CAS("Z", 0, 1), R("a", "Y")),
+        (W("Y", 1), MFENCE(), R("b", "X")),
+    ),
+    forbidden=(outcome(T0_a=0, T1_b=0),),
+)
+
+
+#: IRIW with plain loads — *also* forbidden on x86 (TSO is multicopy
+#: atomic and preserves read-read order), making it a sharp test for
+#: the load-side fences of any mapping.
+IRIW_PLAIN = LitmusTest(
+    program=x86(
+        "IRIW",
+        (W("X", 1),),
+        (W("Y", 1),),
+        (R("a", "X"), R("b", "Y")),
+        (R("c", "Y"), R("d", "X")),
+    ),
+    forbidden=(outcome(T2_a=1, T2_b=0, T3_c=1, T3_d=0),),
+)
+
+#: WRC: write-read causality across three threads — forbidden on x86.
+WRC = LitmusTest(
+    program=x86(
+        "WRC",
+        (W("X", 1),),
+        (R("a", "X"), If("a", 1, then_ops=(W("Y", 1),))),
+        (R("b", "Y"), R("c", "X")),
+    ),
+    forbidden=(outcome(T2_b=1, T2_c=0),),
+    description="causality: T2 seeing Y=1 implies it sees X=1",
+)
+
+#: ISA2: message passing chained through two buffers — forbidden.
+ISA2 = LitmusTest(
+    program=x86(
+        "ISA2",
+        (W("X", 1), W("Y", 1)),
+        (R("a", "Y"), If("a", 1, then_ops=(W("Z", 1),))),
+        (R("b", "Z"), R("c", "X")),
+    ),
+    forbidden=(outcome(T2_b=1, T2_c=0),),
+)
+
+#: CoWW/CoWR: same-location coherence shapes (hold in every model).
+COWR = LitmusTest(
+    program=x86(
+        "CoWR",
+        (W("X", 1), R("a", "X")),
+        (W("X", 2),),
+    ),
+    forbidden=(outcome(T0_a=2, X=1),),
+    description="reading the foreign write means it is co-later",
+)
+
+#: S-shape resolved through an XCHG-style RMW.
+S_RMW = LitmusTest(
+    program=x86(
+        "S+rmw",
+        (W("X", 2), CAS("Y", 0, 1)),
+        (R("a", "Y"), If("a", 1, then_ops=(W("X", 1),))),
+    ),
+    forbidden=(outcome(T1_a=1, X=2),),
+)
+
+
+#: The x86-level verification corpus (drives Theorem-1 checking).
+X86_CORPUS: tuple[LitmusTest, ...] = (
+    MP, SB, SB_MFENCE, LB, MPQ, SBQ, SBAL,
+    MP_MFENCE, S_TEST, R_TEST, W2PLUS2, IRIW_MFENCE, CORR,
+    CAS_CHAIN, MP_RMW, SB_RMW_ONE,
+    IRIW_PLAIN, WRC, ISA2, COWR, S_RMW,
+)
+
+#: TCG-level tests (minimality, Figure 8/9).
+TCG_CORPUS: tuple[LitmusTest, ...] = (LB_IR, MP_IR, FIG9_WR, FIG9_RR)
+
+ALL_TESTS: dict[str, LitmusTest] = {
+    t.name: t for t in X86_CORPUS + TCG_CORPUS
+}

@@ -1,0 +1,283 @@
+"""Mapping schemes between x86, TCG IR, and Arm litmus programs.
+
+These are the op-level counterparts of the translation rules the DBT
+implements, used by the verifier to check Theorem 1:
+
+* :func:`qemu_x86_to_tcg` / :func:`qemu_tcg_to_arm` — QEMU's original
+  scheme (Figure 2): leading ``Frr``/``Fmw`` fences, RMWs emulated by a
+  helper call whose ordering comes from a GCC ``__atomic`` builtin
+  (``ldaxr/stlxr`` with GCC 9, ``casal`` with GCC 10 — Section 3.1).
+* :func:`risotto_x86_to_tcg` / :func:`risotto_tcg_to_arm` — the paper's
+  verified scheme (Figure 7): *trailing* ``Frm`` after loads, *leading*
+  ``Fww`` before stores, RMW as a native TCG RMW lowered to either
+  ``RMW1_AL`` or ``DMBFF; RMW2; DMBFF``.
+* :func:`nofences_x86_to_tcg` — the incorrect performance oracle used in
+  the evaluation (drops every ordering).
+* :func:`armcats_intended` — the direct x86→Arm mapping the Arm-Cats
+  paper implies (Figure 3: ``ldapr``/``stlr``/``casal``), which
+  Section 3.3 shows is broken under the original Arm model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import MappingError
+from .events import Arch, Fence, Mode, RmwFlavor
+from .program import FenceOp, If, Load, Op, Program, Rmw, Store
+
+OpMapper = Callable[[Op], tuple[Op, ...]]
+
+
+@dataclass(frozen=True)
+class OpMapping:
+    """A per-op rewriting from one program level to another."""
+
+    name: str
+    src_arch: Arch
+    tgt_arch: Arch
+    map_op: OpMapper
+
+    def apply(self, program: Program) -> Program:
+        """Translate a whole program, recursing into conditionals."""
+        if program.arch is not self.src_arch:
+            raise MappingError(
+                f"{self.name}: expected {self.src_arch.value} program, "
+                f"got {program.arch.value}"
+            )
+        threads = tuple(
+            self._map_ops(ops) for ops in program.threads
+        )
+        return program.with_threads(
+            threads, arch=self.tgt_arch, suffix=f"→{self.name}"
+        )
+
+    def _map_ops(self, ops: tuple[Op, ...]) -> tuple[Op, ...]:
+        out: list[Op] = []
+        for op in ops:
+            if isinstance(op, If):
+                out.append(If(
+                    reg=op.reg,
+                    value=op.value,
+                    then_ops=self._map_ops(tuple(op.then_ops)),
+                    else_ops=self._map_ops(tuple(op.else_ops)),
+                ))
+            else:
+                out.extend(self.map_op(op))
+        return tuple(out)
+
+    def then(self, other: "OpMapping") -> "OpMapping":
+        """Compose two mappings (this one first)."""
+        if self.tgt_arch is not other.src_arch:
+            raise MappingError(
+                f"cannot compose {self.name} ({self.tgt_arch.value}) with "
+                f"{other.name} ({other.src_arch.value})"
+            )
+
+        def composed(op: Op) -> tuple[Op, ...]:
+            result: list[Op] = []
+            for mid in self.map_op(op):
+                result.extend(other.map_op(mid))
+            return tuple(result)
+
+        return OpMapping(
+            name=f"{self.name}+{other.name}",
+            src_arch=self.src_arch,
+            tgt_arch=other.tgt_arch,
+            map_op=composed,
+        )
+
+
+# ----------------------------------------------------------------------
+# TCG fence lowering to Arm (shared by QEMU's and Risotto's backends)
+# ----------------------------------------------------------------------
+#: Ordered access-pair classes guaranteed by each Arm fence.
+_DMBLD_PAIRS = {("r", "r"), ("r", "w")}
+_DMBST_PAIRS = {("w", "w")}
+
+#: What access-pair classes each TCG fence must order.
+_TCG_FENCE_PAIRS: dict[Fence, set[tuple[str, str]]] = {
+    Fence.FRR: {("r", "r")},
+    Fence.FRW: {("r", "w")},
+    Fence.FRM: {("r", "r"), ("r", "w")},
+    Fence.FWR: {("w", "r")},
+    Fence.FWW: {("w", "w")},
+    Fence.FWM: {("w", "r"), ("w", "w")},
+    Fence.FMR: {("r", "r"), ("w", "r")},
+    Fence.FMW: {("r", "w"), ("w", "w")},
+    Fence.FMM: {("r", "r"), ("r", "w"), ("w", "r"), ("w", "w")},
+    Fence.FSC: {("r", "r"), ("r", "w"), ("w", "r"), ("w", "w")},
+}
+
+
+def lower_tcg_fence(kind: Fence) -> tuple[Op, ...]:
+    """Lower one TCG fence to the weakest sufficient Arm fence.
+
+    ``Frr``/``Frw``/``Frm`` become ``DMBLD``; ``Fww`` becomes ``DMBST``;
+    everything ordering a write-before-read pair needs ``DMBFF``.
+    ``Facq``/``Frel`` are free on Arm (Figure 7b).
+    """
+    if kind in (Fence.FACQ, Fence.FREL):
+        return ()
+    pairs = _TCG_FENCE_PAIRS.get(kind)
+    if pairs is None:
+        raise MappingError(f"not a TCG fence: {kind}")
+    if pairs <= _DMBLD_PAIRS:
+        return (FenceOp(Fence.DMBLD),)
+    if pairs <= _DMBST_PAIRS:
+        return (FenceOp(Fence.DMBST),)
+    return (FenceOp(Fence.DMBFF),)
+
+
+# ----------------------------------------------------------------------
+# x86 → TCG IR
+# ----------------------------------------------------------------------
+def _qemu_x86_op(op: Op) -> tuple[Op, ...]:
+    if isinstance(op, Load):
+        # Fmr demoted to Frr because x86 allows store→load reordering
+        # (Section 3.1).
+        return (FenceOp(Fence.FRR), op)
+    if isinstance(op, Store):
+        return (FenceOp(Fence.FMW), op)
+    if isinstance(op, Rmw):
+        # Helper-call emulation; the TCG-level event is still an SC RMW,
+        # the brokenness appears in the helper's Arm lowering.
+        return (Rmw(op.loc, op.expect, op.new, RmwFlavor.TCG, out=op.out),)
+    if isinstance(op, FenceOp):
+        if op.kind is Fence.MFENCE:
+            return (FenceOp(Fence.FSC),)
+        raise MappingError(f"unexpected x86 fence {op.kind}")
+    raise MappingError(f"cannot map x86 op {op!r}")
+
+
+def _risotto_x86_op(op: Op) -> tuple[Op, ...]:
+    if isinstance(op, Load):
+        return (op, FenceOp(Fence.FRM))       # ld; Frm  (Figure 7a)
+    if isinstance(op, Store):
+        return (FenceOp(Fence.FWW), op)       # Fww; st
+    if isinstance(op, Rmw):
+        return (Rmw(op.loc, op.expect, op.new, RmwFlavor.TCG, out=op.out),)
+    if isinstance(op, FenceOp):
+        if op.kind is Fence.MFENCE:
+            return (FenceOp(Fence.FSC),)
+        raise MappingError(f"unexpected x86 fence {op.kind}")
+    raise MappingError(f"cannot map x86 op {op!r}")
+
+
+def _nofences_x86_op(op: Op) -> tuple[Op, ...]:
+    if isinstance(op, (Load, Store)):
+        return (op,)
+    if isinstance(op, Rmw):
+        return (Rmw(op.loc, op.expect, op.new, RmwFlavor.TCG, out=op.out),)
+    if isinstance(op, FenceOp):
+        return ()
+    raise MappingError(f"cannot map x86 op {op!r}")
+
+
+qemu_x86_to_tcg = OpMapping(
+    "qemu-x86-to-tcg", Arch.X86, Arch.TCG, _qemu_x86_op)
+risotto_x86_to_tcg = OpMapping(
+    "risotto-x86-to-tcg", Arch.X86, Arch.TCG, _risotto_x86_op)
+nofences_x86_to_tcg = OpMapping(
+    "nofences-x86-to-tcg", Arch.X86, Arch.TCG, _nofences_x86_op)
+
+
+# ----------------------------------------------------------------------
+# TCG IR → Arm
+# ----------------------------------------------------------------------
+def _tcg_to_arm_op(op: Op, rmw_lowering: str) -> tuple[Op, ...]:
+    if isinstance(op, Load):
+        return (op,)
+    if isinstance(op, Store):
+        return (op,)
+    if isinstance(op, FenceOp):
+        return lower_tcg_fence(op.kind)
+    if isinstance(op, Rmw):
+        if op.flavor is not RmwFlavor.TCG:
+            raise MappingError(f"TCG program holds non-TCG RMW {op!r}")
+        if rmw_lowering == "rmw1al":
+            return (Rmw(op.loc, op.expect, op.new, RmwFlavor.AMO,
+                        acq=True, rel=True, out=op.out),)
+        if rmw_lowering == "rmw2ff":
+            return (
+                FenceOp(Fence.DMBFF),
+                Rmw(op.loc, op.expect, op.new, RmwFlavor.LXSX, out=op.out),
+                FenceOp(Fence.DMBFF),
+            )
+        if rmw_lowering == "helper-gcc9":
+            # QEMU helper via GCC 9 __atomic builtin: ldaxr/stlxr pair,
+            # no surrounding full fences.
+            return (Rmw(op.loc, op.expect, op.new, RmwFlavor.LXSX,
+                        acq=True, rel=True, out=op.out),)
+        if rmw_lowering == "helper-gcc10":
+            # QEMU helper via GCC 10 __atomic builtin: casal.
+            return (Rmw(op.loc, op.expect, op.new, RmwFlavor.AMO,
+                        acq=True, rel=True, out=op.out),)
+        raise MappingError(f"unknown RMW lowering {rmw_lowering!r}")
+    raise MappingError(f"cannot map TCG op {op!r}")
+
+
+def tcg_to_arm(rmw_lowering: str, name: str) -> OpMapping:
+    return OpMapping(
+        name, Arch.TCG, Arch.ARM,
+        lambda op: _tcg_to_arm_op(op, rmw_lowering),
+    )
+
+
+#: QEMU's backend, by GCC version used to build the helper (§3.1).
+qemu_tcg_to_arm_gcc9 = tcg_to_arm("helper-gcc9", "qemu-tcg-to-arm-gcc9")
+qemu_tcg_to_arm_gcc10 = tcg_to_arm("helper-gcc10", "qemu-tcg-to-arm-gcc10")
+
+#: Risotto's backend, with its two verified RMW lowerings (Figure 7b).
+risotto_tcg_to_arm_rmw1 = tcg_to_arm("rmw1al", "risotto-tcg-to-arm-rmw1al")
+risotto_tcg_to_arm_rmw2 = tcg_to_arm("rmw2ff", "risotto-tcg-to-arm-rmw2ff")
+
+
+# ----------------------------------------------------------------------
+# End-to-end compositions and the Arm-Cats direct mapping
+# ----------------------------------------------------------------------
+qemu_x86_to_arm_gcc9 = qemu_x86_to_tcg.then(qemu_tcg_to_arm_gcc9)
+qemu_x86_to_arm_gcc10 = qemu_x86_to_tcg.then(qemu_tcg_to_arm_gcc10)
+risotto_x86_to_arm_rmw1 = risotto_x86_to_tcg.then(risotto_tcg_to_arm_rmw1)
+risotto_x86_to_arm_rmw2 = risotto_x86_to_tcg.then(risotto_tcg_to_arm_rmw2)
+nofences_x86_to_arm = nofences_x86_to_tcg.then(risotto_tcg_to_arm_rmw1)
+
+
+def _armcats_intended_op(op: Op) -> tuple[Op, ...]:
+    if isinstance(op, Load):
+        return (Load(op.reg, op.loc, mode=Mode.ACQ_PC),)   # LDRQ (ldapr)
+    if isinstance(op, Store):
+        return (Store(op.loc, op.value, mode=Mode.REL),)   # STRL (stlr)
+    if isinstance(op, Rmw):
+        return (Rmw(op.loc, op.expect, op.new, RmwFlavor.AMO,
+                    acq=True, rel=True, out=op.out),)
+    if isinstance(op, FenceOp):
+        if op.kind is Fence.MFENCE:
+            return (FenceOp(Fence.DMBFF),)
+        raise MappingError(f"unexpected x86 fence {op.kind}")
+    raise MappingError(f"cannot map x86 op {op!r}")
+
+
+armcats_intended = OpMapping(
+    "armcats-intended", Arch.X86, Arch.ARM, _armcats_intended_op)
+
+
+#: Mapping registry for reporting and table generation.
+ALL_MAPPINGS: dict[str, OpMapping] = {
+    m.name: m for m in (
+        qemu_x86_to_tcg,
+        risotto_x86_to_tcg,
+        nofences_x86_to_tcg,
+        qemu_tcg_to_arm_gcc9,
+        qemu_tcg_to_arm_gcc10,
+        risotto_tcg_to_arm_rmw1,
+        risotto_tcg_to_arm_rmw2,
+        qemu_x86_to_arm_gcc9,
+        qemu_x86_to_arm_gcc10,
+        risotto_x86_to_arm_rmw1,
+        risotto_x86_to_arm_rmw2,
+        nofences_x86_to_arm,
+        armcats_intended,
+    )
+}

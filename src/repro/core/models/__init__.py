@@ -1,0 +1,43 @@
+"""Axiomatic memory models: x86-TSO, Arm (Arm-Cats), and TCG IR.
+
+Each model is a stateless object with
+
+* ``name`` — stable identifier (used for caching),
+* ``arch`` — which program level it judges,
+* ``is_consistent(execution)`` — the consistency predicate.
+
+Module-level singletons are exported for convenience:
+
+* :data:`X86` — the x86-TSO model (GHB axiom, Section 5.2),
+* :data:`ARM` — the *corrected* Arm-Cats model (Figure 5 with the green
+  amo terms, i.e. ``casal`` is a full barrier),
+* :data:`ARM_ORIGINAL` — the pre-fix Arm-Cats model whose weaker amo
+  ordering admits the SBAL bug of Section 3.3,
+* :data:`TCG` — the paper's proposed TCG IR model (Figure 6),
+* :data:`SC` — sequential consistency, useful as a strongest-model
+  reference in tests.
+"""
+
+from .base import MemoryModel, SCModel
+from .x86tso import X86Model
+from .armcats import ArmModel
+from .tcg import TCGModel
+
+X86 = X86Model()
+ARM = ArmModel(corrected=True)
+ARM_ORIGINAL = ArmModel(corrected=False)
+TCG = TCGModel()
+SC = SCModel()
+
+__all__ = [
+    "MemoryModel",
+    "X86Model",
+    "ArmModel",
+    "TCGModel",
+    "SCModel",
+    "X86",
+    "ARM",
+    "ARM_ORIGINAL",
+    "TCG",
+    "SC",
+]

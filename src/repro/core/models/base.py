@@ -1,0 +1,51 @@
+"""Memory-model interface and the SC reference model."""
+
+from __future__ import annotations
+
+import abc
+
+from ..axioms import atomicity, sc_per_loc
+from ..events import Arch
+from ..execution import Execution
+
+
+class MemoryModel(abc.ABC):
+    """A consistency predicate over candidate executions."""
+
+    #: Stable identifier used as a cache key.
+    name: str
+    #: The program level this model judges.
+    arch: Arch
+
+    @abc.abstractmethod
+    def is_consistent(self, ex: Execution) -> bool:
+        """True when ``ex`` satisfies every axiom of the model."""
+
+    def common_axioms(self, ex: Execution) -> bool:
+        """sc-per-loc + atomicity, shared by all models in the paper."""
+        return sc_per_loc(ex) and atomicity(ex)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class SCModel(MemoryModel):
+    """Sequential consistency (Lamport): a single total order.
+
+    Used as a reference point in tests: every SC-consistent execution
+    must be consistent under x86-TSO, Arm and TCG (they are all weaker),
+    and interleaving interpreters must only produce SC behaviours.
+
+    Axiom: ``(po ∪ rf ∪ co ∪ fr)`` restricted to memory events is
+    acyclic (fences are inert under SC).
+    """
+
+    name = "sc"
+    arch = Arch.X86  # judged at any level; arch tag is informational
+
+    def is_consistent(self, ex: Execution) -> bool:
+        if not self.common_axioms(ex):
+            return False
+        mem = ex.memory_events
+        po_mem = ex.po.restrict(mem, mem)
+        return (po_mem | ex.rf | ex.co | ex.fr).is_acyclic()

@@ -1,0 +1,80 @@
+"""The paper's proposed TCG IR concurrency model (Figure 6).
+
+This is the paper's central formal contribution: an axiomatic model for
+QEMU's intermediate representation, strong enough to support the
+x86→TCG→Arm mapping proofs and weak enough to keep TCG's sequential
+optimizations (reordering, false-dependency elimination) sound.
+
+Axioms:
+
+* (sc-per-loc) and (atomicity) — shared.
+* (GOrd): ``ghb = (ord ∪ rfe ∪ coe ∪ fre)+`` is irreflexive, where
+  ``ord`` collects the per-fence ordering rules plus the SC semantics
+  of TCG RMW events (``Rsc``/``Wsc``) and the ``Fsc`` fence.
+
+Notably *absent*: any preserved program order between plain accesses,
+and any dependency ordering — which is exactly what licenses TCG's
+reordering and false-dependency-elimination passes (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from ..events import Arch, Fence
+from ..execution import Execution
+from ..relations import Rel, union
+from .base import MemoryModel
+
+#: The nine directional TCG fences and their (predecessor, successor)
+#: access classes, exactly as enumerated in Figure 6's ``ord``.
+_FENCE_RULES: tuple[tuple[Fence, str, str], ...] = (
+    (Fence.FRR, "r", "r"),
+    (Fence.FRW, "r", "w"),
+    (Fence.FRM, "r", "m"),
+    (Fence.FWR, "w", "r"),
+    (Fence.FWW, "w", "w"),
+    (Fence.FWM, "w", "m"),
+    (Fence.FMR, "m", "r"),
+    (Fence.FMW, "m", "w"),
+    (Fence.FMM, "m", "m"),
+)
+
+
+class TCGModel(MemoryModel):
+    name = "tcg-ir"
+    arch = Arch.TCG
+
+    def _class_ident(self, ex: Execution, cls: str) -> Rel:
+        if cls == "r":
+            return Rel.identity(ex.reads)
+        if cls == "w":
+            return Rel.identity(ex.writes)
+        return Rel.identity(ex.memory_events)
+
+    def ord(self, ex: Execution) -> Rel:
+        po = ex.po
+        clauses = []
+        for fence, pre, post in _FENCE_RULES:
+            fid = ex.fences(fence)
+            if not fid:
+                continue
+            clauses.append(
+                self._class_ident(ex, pre) @ po @ Rel.identity(fid)
+                @ po @ self._class_ident(ex, post)
+            )
+        # RMW events follow SC semantics (Figure 6's last two lines).
+        before = Rel.identity(ex.sc_writes | ex.rmw.domain())
+        after = Rel.identity(ex.sc_reads | ex.rmw.codomain())
+        clauses.append(po @ before)
+        clauses.append(after @ po)
+        fsc = Rel.identity(ex.fences(Fence.FSC))
+        clauses.append(po @ fsc)
+        clauses.append(fsc @ po)
+        return union(clauses)
+
+    def ghb(self, ex: Execution) -> Rel:
+        return union([self.ord(ex), ex.rfe, ex.coe, ex.fre])
+
+    def is_consistent(self, ex: Execution) -> bool:
+        if not self.common_axioms(ex):
+            return False
+        return self.ghb(ex).is_acyclic()

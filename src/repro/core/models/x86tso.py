@@ -1,0 +1,44 @@
+"""The x86-TSO axiomatic model as presented in Section 5.2.
+
+Axioms:
+
+* (sc-per-loc) and (atomicity) — shared, see :mod:`repro.core.axioms`.
+* (GHB): ``(implied ∪ ppo ∪ rfe ∪ fr ∪ co)+`` is irreflexive, where
+
+  - ``ppo ≜ ((W×W) ∪ (R×W) ∪ (R×R)) ∩ po`` — every access pair except
+    store→load is preserved,
+  - ``implied ≜ po;[At ∪ F] ∪ [At ∪ F];po`` with
+    ``At ≜ dom(rmw) ∪ codom(rmw)`` — a LOCK'd RMW and MFENCE order
+    everything around them.
+"""
+
+from __future__ import annotations
+
+from ..events import Arch, Fence
+from ..execution import Execution
+from ..relations import Rel, union
+from .base import MemoryModel
+
+
+class X86Model(MemoryModel):
+    name = "x86-tso"
+    arch = Arch.X86
+
+    def ghb(self, ex: Execution) -> Rel:
+        """The global-happens-before relation (un-closed)."""
+        reads, writes = ex.reads, ex.writes
+        po = ex.po
+        ppo = (
+            Rel.cross(writes, writes)
+            | Rel.cross(reads, writes)
+            | Rel.cross(reads, reads)
+        ) & po
+        at = ex.rmw.domain() | ex.rmw.codomain()
+        barrier = Rel.identity(at | ex.fences(Fence.MFENCE))
+        implied = (po @ barrier) | (barrier @ po)
+        return union([implied, ppo, ex.rfe, ex.fr, ex.co])
+
+    def is_consistent(self, ex: Execution) -> bool:
+        if not self.common_axioms(ex):
+            return False
+        return self.ghb(ex).is_acyclic()

@@ -1,0 +1,218 @@
+"""Litmus-program AST for the axiomatic engine.
+
+A litmus program is a tiny multi-threaded program over shared locations
+and thread-local registers (Section 2.1 of the paper).  The same AST
+expresses programs at all three levels of the translation pipeline —
+x86, TCG IR, and Arm — distinguished by the fence kinds and access
+annotations each level permits; :mod:`repro.core.mappings` rewrites a
+program from one level into another.
+
+Statements:
+
+* :class:`Store` — write a constant or a register to a location.
+* :class:`Load` — read a location into a register.
+* :class:`FenceOp` — a fence of some :class:`~repro.core.events.Fence`.
+* :class:`Rmw` — a compare-and-swap style atomic update
+  ``RMW(loc, expect, new)``; succeeds (atomically writing ``new``) when
+  the location holds ``expect``.
+* :class:`If` — conditional on a register, creating control
+  dependencies (used by MPQ and FMR from the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LitmusError
+from .events import Arch, Fence, Mode, RmwFlavor
+
+Value = "int | str"  # constants, or a register name for data dependencies
+
+
+@dataclass(frozen=True)
+class Store:
+    loc: str
+    value: int | str
+    mode: Mode = Mode.PLAIN
+    #: A *syntactic* dependency on a register whose value does not
+    #: influence the stored constant — models false dependencies such
+    #: as ``X = a*0`` (Section 6.1).  Arm's ``dob`` orders through it;
+    #: the TCG IR model does not, which is what makes eliminating it
+    #: legal on the IR.
+    dep: str | None = None
+
+    def __str__(self) -> str:
+        ann = "" if self.mode is Mode.PLAIN else f"^{self.mode.value}"
+        dep = f" (dep {self.dep})" if self.dep else ""
+        return f"{self.loc}{ann} = {self.value}{dep}"
+
+
+@dataclass(frozen=True)
+class Load:
+    reg: str
+    loc: str
+    mode: Mode = Mode.PLAIN
+
+    def __str__(self) -> str:
+        ann = "" if self.mode is Mode.PLAIN else f"^{self.mode.value}"
+        return f"{self.reg} = {self.loc}{ann}"
+
+
+@dataclass(frozen=True)
+class FenceOp:
+    kind: Fence
+
+    def __str__(self) -> str:
+        return self.kind.value
+
+
+@dataclass(frozen=True)
+class Rmw:
+    """``RMW(loc, expect, new)`` — CAS-style atomic update.
+
+    ``flavor`` selects the event treatment (x86 LOCK RMW, TCG RMW, Arm
+    ``RMW1``/``RMW2``); ``acq``/``rel`` add the Arm A/L annotations of
+    the ``RMW^A``/``RMW^L``/``RMW^AL`` variants in Figure 1.  ``out``
+    optionally names a register receiving the value read.
+    """
+
+    loc: str
+    expect: int
+    new: int
+    flavor: RmwFlavor
+    acq: bool = False
+    rel: bool = False
+    out: str | None = None
+
+    def __str__(self) -> str:
+        name = {
+            RmwFlavor.X86: "RMW",
+            RmwFlavor.TCG: "RMW",
+            RmwFlavor.AMO: "RMW1",
+            RmwFlavor.LXSX: "RMW2",
+        }[self.flavor]
+        suffix = ("A" if self.acq else "") + ("L" if self.rel else "")
+        if suffix:
+            name = f"{name}^{suffix}"
+        prefix = f"{self.out} = " if self.out else ""
+        return f"{prefix}{name}({self.loc},{self.expect},{self.new})"
+
+
+@dataclass(frozen=True)
+class If:
+    """``if (reg == value) then_ops else else_ops``."""
+
+    reg: str
+    value: int
+    then_ops: tuple = ()
+    else_ops: tuple = ()
+
+    def __str__(self) -> str:
+        body = "; ".join(str(op) for op in self.then_ops)
+        out = f"if ({self.reg} == {self.value}) {{ {body} }}"
+        if self.else_ops:
+            out += " else { " + "; ".join(str(o) for o in self.else_ops) + " }"
+        return out
+
+
+Op = Store | Load | FenceOp | Rmw | If
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named litmus program: parallel threads over shared locations."""
+
+    name: str
+    arch: Arch
+    threads: tuple[tuple[Op, ...], ...]
+    #: Initial values; locations default to 0.
+    init: tuple[tuple[str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for tid, ops in enumerate(self.threads):
+            defined: set[str] = set()
+            self._validate_ops(tid, ops, defined)
+
+    def _validate_ops(self, tid: int, ops: tuple[Op, ...],
+                      defined: set[str]) -> None:
+        for op in ops:
+            if isinstance(op, Load):
+                defined.add(op.reg)
+            elif isinstance(op, Store):
+                if isinstance(op.value, str) and op.value not in defined:
+                    raise LitmusError(
+                        f"{self.name}: T{tid} stores undefined register "
+                        f"{op.value!r}"
+                    )
+                if op.dep is not None and op.dep not in defined:
+                    raise LitmusError(
+                        f"{self.name}: T{tid} store depends on undefined "
+                        f"register {op.dep!r}"
+                    )
+            elif isinstance(op, Rmw):
+                if op.out:
+                    defined.add(op.out)
+            elif isinstance(op, If):
+                if op.reg not in defined:
+                    raise LitmusError(
+                        f"{self.name}: T{tid} branches on undefined "
+                        f"register {op.reg!r}"
+                    )
+                # Branch arms see a copy so a register defined in only
+                # one arm is not considered defined afterwards.
+                then_defined = set(defined)
+                else_defined = set(defined)
+                self._validate_ops(tid, tuple(op.then_ops), then_defined)
+                self._validate_ops(tid, tuple(op.else_ops), else_defined)
+                defined |= then_defined & else_defined
+
+    # ------------------------------------------------------------------
+    def locations(self) -> frozenset[str]:
+        locs: set[str] = {loc for loc, _ in self.init}
+
+        def visit(ops: tuple[Op, ...]) -> None:
+            for op in ops:
+                if isinstance(op, (Store, Load, Rmw)):
+                    locs.add(op.loc)
+                elif isinstance(op, If):
+                    visit(tuple(op.then_ops))
+                    visit(tuple(op.else_ops))
+
+        for ops in self.threads:
+            visit(ops)
+        return frozenset(locs)
+
+    def init_value(self, loc: str) -> int:
+        for name, val in self.init:
+            if name == loc:
+                return val
+        return 0
+
+    def pretty(self) -> str:
+        lines = [f"{self.name} [{self.arch.value}]"]
+        for tid, ops in enumerate(self.threads):
+            lines.append(f"  T{tid}: " + "; ".join(str(op) for op in ops))
+        return "\n".join(lines)
+
+    def with_arch(self, arch: Arch, suffix: str = "") -> "Program":
+        """Copy with a new architecture tag (used by mapping schemes)."""
+        return Program(
+            name=self.name + suffix,
+            arch=arch,
+            threads=self.threads,
+            init=self.init,
+        )
+
+    def with_threads(self, threads: tuple[tuple[Op, ...], ...],
+                     arch: Arch | None = None,
+                     suffix: str = "") -> "Program":
+        return Program(
+            name=self.name + suffix,
+            arch=arch or self.arch,
+            threads=threads,
+            init=self.init,
+        )

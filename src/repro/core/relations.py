@@ -1,0 +1,236 @@
+"""Finite binary-relation algebra used by the axiomatic memory models.
+
+The paper (and the herd 'cat' language it builds on) expresses memory
+models as algebraic combinations of binary relations over events:
+unions, compositions, inverses, transitive closures, and acyclicity
+checks.  This module implements that algebra for *finite* relations over
+hashable elements (we use integer event ids).
+
+The sizes involved are litmus-test sized (tens of events), so the
+implementation favours clarity over asymptotic cleverness: relations are
+frozen sets of pairs and the transitive closure is a simple worklist
+saturation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import FrozenSet, Tuple
+
+Pair = Tuple[int, int]
+
+
+class Rel:
+    """An immutable binary relation over integer event ids.
+
+    Supports the operators used in 'cat'-style model definitions:
+
+    * ``a | b`` — union
+    * ``a & b`` — intersection
+    * ``a - b`` — difference
+    * ``a @ b`` — sequential composition (``a ; b`` in cat syntax)
+    * ``a.inv()`` — inverse (``a^-1``)
+    * ``a.plus()`` — transitive closure (``a^+``)
+    * ``a.is_irreflexive()`` / ``a.is_acyclic()``
+    """
+
+    __slots__ = ("pairs",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()):
+        self.pairs: FrozenSet[Pair] = frozenset(pairs)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "Rel":
+        return _EMPTY
+
+    @staticmethod
+    def identity(elements: Iterable[int]) -> "Rel":
+        """``[A]`` in cat notation: the identity relation on a set."""
+        return Rel((e, e) for e in elements)
+
+    @staticmethod
+    def cross(left: Iterable[int], right: Iterable[int]) -> "Rel":
+        """``A * B``: full cross product of two sets."""
+        right_list = list(right)
+        return Rel((a, b) for a in left for b in right_list)
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __or__(self, other: "Rel") -> "Rel":
+        return Rel(self.pairs | other.pairs)
+
+    def __and__(self, other: "Rel") -> "Rel":
+        return Rel(self.pairs & other.pairs)
+
+    def __sub__(self, other: "Rel") -> "Rel":
+        return Rel(self.pairs - other.pairs)
+
+    def __matmul__(self, other: "Rel") -> "Rel":
+        """Sequential composition ``self ; other``."""
+        by_src: dict[int, list[int]] = {}
+        for a, b in other.pairs:
+            by_src.setdefault(a, []).append(b)
+        out: set[Pair] = set()
+        for a, b in self.pairs:
+            for c in by_src.get(b, ()):
+                out.add((a, c))
+        return Rel(out)
+
+    def inv(self) -> "Rel":
+        return Rel((b, a) for a, b in self.pairs)
+
+    def plus(self) -> "Rel":
+        """Transitive closure via worklist saturation."""
+        succ: dict[int, set[int]] = {}
+        for a, b in self.pairs:
+            succ.setdefault(a, set()).add(b)
+        closure: set[Pair] = set(self.pairs)
+        frontier = list(self.pairs)
+        while frontier:
+            a, b = frontier.pop()
+            for c in succ.get(b, ()):
+                if (a, c) not in closure:
+                    closure.add((a, c))
+                    frontier.append((a, c))
+                    succ.setdefault(a, set()).add(c)
+        return Rel(closure)
+
+    def opt(self, elements: Iterable[int]) -> "Rel":
+        """Reflexive closure over the given carrier set (``r?``)."""
+        return self | Rel.identity(elements)
+
+    # ------------------------------------------------------------------
+    # Restriction and projection
+    # ------------------------------------------------------------------
+    def restrict(self, domain: Iterable[int] | None = None,
+                 codomain: Iterable[int] | None = None) -> "Rel":
+        """Keep only pairs whose endpoints lie in the given sets."""
+        dom = set(domain) if domain is not None else None
+        cod = set(codomain) if codomain is not None else None
+        return Rel(
+            (a, b)
+            for a, b in self.pairs
+            if (dom is None or a in dom) and (cod is None or b in cod)
+        )
+
+    def domain(self) -> FrozenSet[int]:
+        """``dom(S)``: the set of sources."""
+        return frozenset(a for a, _ in self.pairs)
+
+    def codomain(self) -> FrozenSet[int]:
+        """``codom(S)``: the set of targets."""
+        return frozenset(b for _, b in self.pairs)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def is_irreflexive(self) -> bool:
+        return all(a != b for a, b in self.pairs)
+
+    def is_acyclic(self) -> bool:
+        """True when the transitive closure is irreflexive.
+
+        Implemented as a DFS cycle check rather than materializing the
+        closure, since acyclicity is the hot predicate in consistency
+        checking.
+        """
+        succ: dict[int, list[int]] = {}
+        nodes: set[int] = set()
+        for a, b in self.pairs:
+            succ.setdefault(a, []).append(b)
+            nodes.add(a)
+            nodes.add(b)
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {n: WHITE for n in nodes}
+        for root in nodes:
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[int, Iterator[int]]] = [
+                (root, iter(succ.get(root, ())))
+            ]
+            color[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if color[nxt] == GREY:
+                        return False
+                    if color[nxt] == WHITE:
+                        color[nxt] = GREY
+                        stack.append((nxt, iter(succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return True
+
+    def is_total_on(self, elements: Iterable[int]) -> bool:
+        """True when the relation totally orders ``elements``."""
+        elems = list(elements)
+        for i, a in enumerate(elems):
+            for b in elems[i + 1:]:
+                if (a, b) not in self.pairs and (b, a) not in self.pairs:
+                    return False
+        return self.is_acyclic()
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self.pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(sorted(self.pairs))
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self.pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rel):
+            return NotImplemented
+        return self.pairs == other.pairs
+
+    def __hash__(self) -> int:
+        return hash(self.pairs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a}->{b}" for a, b in sorted(self.pairs))
+        return f"Rel({{{inner}}})"
+
+
+_EMPTY = Rel(())
+
+
+def union(rels: Iterable[Rel]) -> Rel:
+    """N-ary union, convenient when a model has many clauses."""
+    pairs: set[Pair] = set()
+    for rel in rels:
+        pairs |= rel.pairs
+    return Rel(pairs)
+
+
+def total_order_extensions(elements: list[int], first: int | None = None):
+    """Yield every strict total order of ``elements`` as a Rel.
+
+    When ``first`` is given it is pinned to the front (used for the
+    initialization write, which is co-before every other write).
+    """
+    import itertools
+
+    rest = [e for e in elements if e != first] if first is not None \
+        else list(elements)
+    for perm in itertools.permutations(rest):
+        order = ([first] if first is not None else []) + list(perm)
+        yield Rel(
+            (order[i], order[j])
+            for i in range(len(order))
+            for j in range(i + 1, len(order))
+        )

@@ -1,0 +1,242 @@
+"""Model-checking verifier for Theorem 1 (Transformation Correctness).
+
+The paper proves, in 14k lines of Agda, that its mapping schemes and IR
+transformations satisfy:
+
+    for each consistent target execution Xt ∈ [[Pt]]Mt there exists a
+    consistent source execution Xs ∈ [[Ps]]Ms with Behav(Xt) = Behav(Xs).
+
+Because behaviours of a program form a finite set here, the quantifier
+collapses to *behaviour-set inclusion*:
+
+    behaviors(Pt, Mt)  ⊆  behaviors(Ps, Ms)
+
+This module checks that inclusion exhaustively over litmus programs —
+the executable substitute for the mechanized proofs.  It reproduces
+every verdict the paper reports: QEMU's RMW bugs (MPQ, SBQ), the FMR
+transformation bug, the SBAL Arm-model bug, the correctness of Risotto's
+mappings, and the *minimality* of each inserted fence (dropping any one
+fence class breaks some corpus test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .enumerate import behaviors
+from .events import Fence, RmwFlavor
+from .litmus_library import LitmusTest, shows
+from .mappings import OpMapping
+from .models.base import MemoryModel
+from .program import FenceOp, If, Op, Program, Rmw
+
+
+@dataclass(frozen=True)
+class MappingVerdict:
+    """Result of checking one program under one mapping."""
+
+    test_name: str
+    mapping_name: str
+    ok: bool
+    #: Behaviours of the target that no source execution exhibits.
+    new_behaviors: frozenset = frozenset()
+    #: Forbidden outcomes (per the litmus annotation) that the target
+    #: admits — the human-readable witnesses of a translation bug.
+    violated_outcomes: tuple = ()
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else "BROKEN"
+        out = f"{self.test_name:<18} {self.mapping_name:<28} {status}"
+        if not self.ok and self.violated_outcomes:
+            shown = "; ".join(
+                "{" + ", ".join(f"{k}={v}" for k, v in sorted(o)) + "}"
+                for o in self.violated_outcomes
+            )
+            out += f"  admits forbidden {shown}"
+        return out
+
+
+@dataclass
+class CorpusReport:
+    """Aggregated verdicts for a mapping over a corpus."""
+
+    mapping_name: str
+    verdicts: list[MappingVerdict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts)
+
+    @property
+    def failures(self) -> list[MappingVerdict]:
+        return [v for v in self.verdicts if not v.ok]
+
+    def __str__(self) -> str:
+        head = f"mapping {self.mapping_name}: " + (
+            "all tests pass" if self.ok
+            else f"{len(self.failures)}/{len(self.verdicts)} tests broken"
+        )
+        return "\n".join([head] + [f"  {v}" for v in self.verdicts])
+
+
+# ----------------------------------------------------------------------
+# Core checks
+# ----------------------------------------------------------------------
+def check_translation(source: Program, target: Program,
+                      src_model: MemoryModel, tgt_model: MemoryModel,
+                      test: LitmusTest | None = None,
+                      mapping_name: str = "?") -> MappingVerdict:
+    """Theorem 1 via behaviour-set inclusion.
+
+    Register observations are projected to the registers common to both
+    programs, so transformations that constant-fold a register away
+    (e.g. FMR's RAW elimination) remain comparable.
+    """
+    src_behs = behaviors(source, src_model)
+    tgt_behs = behaviors(target, tgt_model)
+
+    src_keys = _behavior_keys(src_behs)
+    tgt_keys = _behavior_keys(tgt_behs)
+    common = src_keys & tgt_keys
+
+    src_proj = frozenset(_project(b, common) for b in src_behs)
+    new = frozenset(
+        b for b in tgt_behs if _project(b, common) not in src_proj
+    )
+
+    violated: list = []
+    if test is not None:
+        for out in test.forbidden:
+            if shows(tgt_behs, out) and not shows(src_behs, out):
+                violated.append(out)
+
+    return MappingVerdict(
+        test_name=source.name,
+        mapping_name=mapping_name,
+        ok=not new,
+        new_behaviors=new,
+        violated_outcomes=tuple(violated),
+    )
+
+
+def _behavior_keys(behs: frozenset) -> frozenset:
+    keys: set = set()
+    for beh in behs:
+        keys |= {k for k, _ in beh}
+    return frozenset(keys)
+
+
+def _project(beh: frozenset, keys: frozenset) -> frozenset:
+    return frozenset((k, v) for k, v in beh if k in keys)
+
+
+def check_mapping(test: LitmusTest, mapping: OpMapping,
+                  src_model: MemoryModel,
+                  tgt_model: MemoryModel) -> MappingVerdict:
+    """Map the test's program and check Theorem 1 for it."""
+    target = mapping.apply(test.program)
+    verdict = check_translation(
+        test.program, target, src_model, tgt_model,
+        test=test, mapping_name=mapping.name,
+    )
+    return verdict
+
+
+def check_corpus(corpus: tuple[LitmusTest, ...], mapping: OpMapping,
+                 src_model: MemoryModel,
+                 tgt_model: MemoryModel) -> CorpusReport:
+    report = CorpusReport(mapping_name=mapping.name)
+    for test in corpus:
+        report.verdicts.append(
+            check_mapping(test, mapping, src_model, tgt_model)
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# Sanity: the litmus annotations themselves hold in the source model
+# ----------------------------------------------------------------------
+def check_annotations(test: LitmusTest, model: MemoryModel) -> list[str]:
+    """Return problems with the test's forbidden/allowed annotations."""
+    problems = []
+    behs = behaviors(test.program, model)
+    for out in test.forbidden:
+        if shows(behs, out):
+            problems.append(
+                f"{test.name}: outcome {dict(sorted(out))} marked "
+                f"forbidden but {model.name} allows it"
+            )
+    for out in test.allowed:
+        if not shows(behs, out):
+            problems.append(
+                f"{test.name}: outcome {dict(sorted(out))} marked "
+                f"allowed but {model.name} forbids it"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Minimality ablation (Section 5.4 / Figures 8-9)
+# ----------------------------------------------------------------------
+def drop_fences(mapping: OpMapping, kinds: frozenset[Fence],
+                suffix: str) -> OpMapping:
+    """A weakened mapping that omits the given fence kinds."""
+
+    def weakened(op: Op) -> tuple[Op, ...]:
+        return tuple(
+            mapped for mapped in mapping.map_op(op)
+            if not (isinstance(mapped, FenceOp) and mapped.kind in kinds)
+        )
+
+    return OpMapping(
+        name=f"{mapping.name}-minus-{suffix}",
+        src_arch=mapping.src_arch,
+        tgt_arch=mapping.tgt_arch,
+        map_op=weakened,
+    )
+
+
+def drop_rmw_fence(mapping: OpMapping, leading: bool,
+                   suffix: str) -> OpMapping:
+    """Weaken only the DMBFF emitted around RMW lowerings."""
+
+    def weakened(op: Op) -> tuple[Op, ...]:
+        mapped = list(mapping.map_op(op))
+        if not isinstance(op, Rmw):
+            return tuple(mapped)
+        if leading and mapped and isinstance(mapped[0], FenceOp):
+            mapped = mapped[1:]
+        if not leading and mapped and isinstance(mapped[-1], FenceOp):
+            mapped = mapped[:-1]
+        return tuple(mapped)
+
+    return OpMapping(
+        name=f"{mapping.name}-minus-{suffix}",
+        src_arch=mapping.src_arch,
+        tgt_arch=mapping.tgt_arch,
+        map_op=weakened,
+    )
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Whether removing a fence class broke at least one corpus test."""
+
+    ablation: str
+    broken_tests: tuple[str, ...]
+
+    @property
+    def fence_was_necessary(self) -> bool:
+        return bool(self.broken_tests)
+
+
+def ablate(corpus: tuple[LitmusTest, ...], weakened: OpMapping,
+           src_model: MemoryModel, tgt_model: MemoryModel,
+           label: str) -> AblationResult:
+    """Run a weakened mapping over the corpus; collect broken tests."""
+    broken = []
+    for test in corpus:
+        verdict = check_mapping(test, weakened, src_model, tgt_model)
+        if not verdict.ok:
+            broken.append(test.name)
+    return AblationResult(ablation=label, broken_tests=tuple(broken))

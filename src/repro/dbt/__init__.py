@@ -1,0 +1,22 @@
+"""The Risotto DBT system: configs, runtime, and execution engine."""
+
+from .config import DBTConfig, NO_FENCES, QEMU, RISOTTO, TCG_VER, VARIANTS
+from .engine import DBTEngine, NativeRunner, RunResult
+from .runtime import (
+    Runtime,
+    RunStats,
+    SYS_EXIT,
+    SYS_JOIN,
+    SYS_SPAWN,
+    SYS_WRITE_INT,
+    guest_reg,
+    set_guest_reg,
+)
+
+__all__ = [
+    "DBTConfig", "NO_FENCES", "QEMU", "RISOTTO", "TCG_VER", "VARIANTS",
+    "DBTEngine", "NativeRunner", "RunResult",
+    "Runtime", "RunStats",
+    "SYS_EXIT", "SYS_JOIN", "SYS_SPAWN", "SYS_WRITE_INT",
+    "guest_reg", "set_guest_reg",
+]

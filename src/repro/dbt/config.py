@@ -1,0 +1,71 @@
+"""DBT variant configurations — the four setups of Section 7.1.
+
+* ``qemu``      — vanilla QEMU 6.1.0: Figure 2 mappings (leading
+  ``Frr``/``Fmw`` fences), RMWs through helper calls.
+* ``no-fences`` — QEMU with no ordering enforcement (the incorrect
+  performance oracle).
+* ``tcg-ver``   — QEMU with Risotto's verified mappings only
+  (Figure 7a fences + fence merging); helper RMWs, no host linker.
+* ``risotto``   — everything: verified mappings, fence merging, direct
+  ``casal`` CAS translation, dynamic host library linker.
+
+``native`` is not a DBT configuration: native runs execute the
+Arm-compiled workload directly on the machine (see
+:mod:`repro.workloads`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..tcg.frontend_x86 import CasPolicy, FencePolicy, FrontendConfig
+from ..tcg.optimizer import OptimizerConfig
+
+
+@dataclass(frozen=True)
+class DBTConfig:
+    name: str
+    frontend: FrontendConfig
+    optimizer: OptimizerConfig = OptimizerConfig()
+    use_host_linker: bool = False
+
+    def with_overrides(self, **kw) -> "DBTConfig":
+        return replace(self, **kw)
+
+
+QEMU = DBTConfig(
+    name="qemu",
+    frontend=FrontendConfig(
+        fence_policy=FencePolicy.QEMU,
+        cas_policy=CasPolicy.HELPER,
+    ),
+)
+
+NO_FENCES = DBTConfig(
+    name="no-fences",
+    frontend=FrontendConfig(
+        fence_policy=FencePolicy.NOFENCES,
+        cas_policy=CasPolicy.HELPER,
+    ),
+)
+
+TCG_VER = DBTConfig(
+    name="tcg-ver",
+    frontend=FrontendConfig(
+        fence_policy=FencePolicy.RISOTTO,
+        cas_policy=CasPolicy.HELPER,
+    ),
+)
+
+RISOTTO = DBTConfig(
+    name="risotto",
+    frontend=FrontendConfig(
+        fence_policy=FencePolicy.RISOTTO,
+        cas_policy=CasPolicy.NATIVE,
+    ),
+    use_host_linker=True,
+)
+
+VARIANTS: dict[str, DBTConfig] = {
+    c.name: c for c in (QEMU, NO_FENCES, TCG_VER, RISOTTO)
+}

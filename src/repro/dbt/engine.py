@@ -1,0 +1,179 @@
+"""The DBT execution engine (Figure 4's execution loop).
+
+``DBTEngine`` wires the pipeline together: guest x86 bytes are decoded
+by the frontend into TCG IR (with the configured fence policy),
+optimized, lowered to Arm by the backend, assembled into the code
+cache, and executed by the simulated host machine.  Translation happens
+lazily at dispatch time and blocks are cached — QEMU's
+translate-execute loop.
+
+``NativeRunner`` executes Arm-native builds of a workload directly on
+the same machine and syscall layer: the "native" bars of Figures 12-14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TranslationError
+from ..isa.arm.assembler import assemble as assemble_arm
+from ..machine.scheduler import Machine
+from ..machine.timing import CostModel, DEFAULT_COSTS
+from ..machine.weakmem import BufferMode
+from ..tcg.backend_arm import ArmBackend, CompiledBlock
+from ..tcg.frontend_x86 import X86Frontend
+from ..tcg.optimizer import OptStats, optimize
+from .config import DBTConfig, RISOTTO
+from .runtime import Runtime, RunStats, THREAD_EXIT_PC
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one run."""
+
+    elapsed_cycles: int
+    total_cycles: int
+    fence_cycles: int
+    host_insns: int
+    stats: RunStats
+    opt_stats: OptStats
+    exit_code: int
+    output: list[int] = field(default_factory=list)
+
+    @property
+    def fence_share(self) -> float:
+        """Fraction of cpu time spent in DMB fences."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.fence_cycles / self.total_cycles
+
+
+class DBTEngine:
+    """Translate-and-execute a guest x86 program on the Arm machine."""
+
+    def __init__(self, config: DBTConfig = RISOTTO,
+                 machine: Machine | None = None,
+                 n_cores: int = 4,
+                 costs: CostModel | None = None,
+                 seed: int = 42,
+                 buffer_mode: BufferMode = BufferMode.WEAK):
+        self.config = config
+        self.machine = machine or Machine(
+            n_cores=n_cores, costs=costs or DEFAULT_COSTS, seed=seed,
+            buffer_mode=buffer_mode)
+        self.runtime = Runtime(self.machine)
+        self.runtime.translator = self._translate
+        self.frontend = X86Frontend(config.frontend)
+        self.backend = ArmBackend()
+        self.opt_stats = OptStats()
+        self._helper_traps: dict[tuple, int] = {}
+        self._dispatch_traps = {
+            True: self.runtime.make_dispatch_trap(direct=True),
+            False: self.runtime.make_dispatch_trap(direct=False),
+        }
+
+    # ------------------------------------------------------------------
+    def load_image(self, base: int, code: bytes) -> None:
+        """Map guest code/data into the shared address space."""
+        self.machine.memory.add_image(base, code)
+
+    # ------------------------------------------------------------------
+    def _trap_for(self, helper: str, arg_regs: tuple[str, ...],
+                  ret_reg: str | None, direct_hint: str) -> int:
+        if helper == "dispatch":
+            return self._dispatch_traps[direct_hint == "goto_tb"]
+        key = (helper, arg_regs, ret_reg)
+        addr = self._helper_traps.get(key)
+        if addr is None:
+            addr = self.runtime.make_helper_trap(helper, arg_regs,
+                                                 ret_reg)
+            self._helper_traps[key] = addr
+        return addr
+
+    def _translate(self, guest_pc: int) -> int:
+        """Translate one guest block; returns its host address."""
+        block = self.frontend.translate_block(
+            self.machine.memory, guest_pc)
+        stats = optimize(block, self.config.optimizer)
+        self.opt_stats.merge(stats)
+        compiled = self.backend.compile_block(block)
+        host_pc = self._install(compiled)
+        self.runtime.stats.blocks_translated += 1
+        self.runtime.stats.guest_insns_translated += block.guest_insns
+        return host_pc
+
+    def _install(self, compiled: CompiledBlock) -> int:
+        labels: dict[str, int] = {}
+        for request in compiled.helper_requests:
+            hint = "goto_tb" if request.trap_label.endswith("goto_tb") \
+                else "exit_tb"
+            labels[request.trap_label] = self._trap_for(
+                request.helper, request.arg_regs, request.ret_reg,
+                hint)
+        # Two-pass: measure at a dummy base, then place for real.
+        probe = assemble_arm(compiled.asm, base=0,
+                             external_labels=labels)
+        host_pc = self.runtime.alloc_code(len(probe.code))
+        final = assemble_arm(compiled.asm, base=host_pc,
+                             external_labels=labels)
+        self.machine.memory.add_image(host_pc, final.code)
+        return host_pc
+
+    # ------------------------------------------------------------------
+    def run(self, entry_pc: int,
+            max_steps: int = 50_000_000) -> RunResult:
+        main = self.runtime.start_main_thread(entry_pc)
+        self.machine.run(max_steps=max_steps)
+        return RunResult(
+            elapsed_cycles=self.machine.elapsed_cycles(),
+            total_cycles=self.machine.total_cycles(),
+            fence_cycles=self.machine.total_fence_cycles(),
+            host_insns=self.machine.total_insns(),
+            stats=self.runtime.stats,
+            opt_stats=self.opt_stats,
+            exit_code=self.runtime.threads[main.tid].exit_code,
+            output=self.runtime.stats.output,
+        )
+
+
+class NativeRunner:
+    """Run an Arm-native workload build on the same machine/syscalls.
+
+    Native code uses the same syscall register convention as the
+    translated guest (number in x8, args in x13/x12) so the one runtime
+    serves both; threads spawned by native code start directly at their
+    Arm entry point.
+    """
+
+    def __init__(self, machine: Machine | None = None,
+                 n_cores: int = 4,
+                 costs: CostModel | None = None,
+                 seed: int = 42):
+        self.machine = machine or Machine(
+            n_cores=n_cores, costs=costs or DEFAULT_COSTS, seed=seed)
+        self.runtime = Runtime(self.machine)
+        self.runtime.native_mode = True
+        self._exit_trap = self.runtime.alloc_trap(self._thread_exit)
+        self.runtime.native_exit = self._exit_trap
+
+    def _thread_exit(self, core) -> None:
+        from .runtime import guest_reg
+        self.runtime._finish_thread(core, guest_reg(core, "rax"))
+
+    def load_image(self, base: int, code: bytes) -> None:
+        self.machine.memory.add_image(base, code)
+
+    def run(self, entry_pc: int,
+            max_steps: int = 50_000_000) -> RunResult:
+        main = self.runtime.start_main_thread(entry_pc)
+        self.machine.run(max_steps=max_steps)
+        return RunResult(
+            elapsed_cycles=self.machine.elapsed_cycles(),
+            total_cycles=self.machine.total_cycles(),
+            fence_cycles=self.machine.total_fence_cycles(),
+            host_insns=self.machine.total_insns(),
+            stats=self.runtime.stats,
+            opt_stats=OptStats(),
+            exit_code=self.runtime.threads[main.tid].exit_code,
+            output=self.runtime.stats.output,
+        )

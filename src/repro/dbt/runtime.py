@@ -1,0 +1,359 @@
+"""DBT runtime: guest state, helpers, syscalls, threads, dispatch.
+
+The guest's architectural state lives permanently in host registers
+(the backend's fixed map); the runtime provides everything around the
+translated code:
+
+* **helpers** — the QEMU-style C-helper equivalents (RMW emulation via
+  GCC-builtin-like atomics, softfloat FP) as costed Python callables
+  installed at trap addresses,
+* **the dispatcher** — block-cache lookup / translate-on-miss, with
+  chain-aware entry costs,
+* **user-mode syscalls** — exit / write / spawn / join (spawn+join
+  substitute for clone(2)+futex; DESIGN.md),
+* **guest threads** — mapped 1:1 onto simulated cores.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import GuestFault, TranslationError
+from ..isa.x86.insns import GPR as X86_GPR
+from ..isa.arm.insns import CODER as ARM_CODER
+from ..isa.common import Imm, Insn
+from ..machine.cpu import ArmCore
+from ..machine.scheduler import Machine
+from ..tcg.backend_arm import GUEST_FLAG_MAP, GUEST_REG_MAP
+
+U64 = (1 << 64) - 1
+
+#: Sentinel a helper returns to re-enter its trap on the next step
+#: (used by blocking syscalls like join).
+RETRY = object()
+
+#: Address-space layout.
+CODE_CACHE_BASE = 0x4000_0000
+TRAP_BASE = 0xE000_0000
+STACK_BASE = 0x7000_0000
+STACK_SIZE = 0x10_0000
+#: Magic guest pc meaning "this guest thread's entry function returned".
+THREAD_EXIT_PC = 0xDEAD_0000
+
+#: Guest syscall numbers (custom user-mode ABI, see DESIGN.md).
+SYS_EXIT = 60
+SYS_WRITE_INT = 1
+SYS_SPAWN = 1000
+SYS_JOIN = 1001
+
+_SVC_SIZE = len(ARM_CODER.encode(Insn("svc", (Imm(0),))))
+
+_ARM_REG_OF_GUEST = {
+    name: GUEST_REG_MAP[f"g_{name}"] for name in X86_GPR
+}
+
+
+def guest_reg(core: ArmCore, name: str) -> int:
+    """Read a guest x86 register out of its host register."""
+    return core.get(_ARM_REG_OF_GUEST[name])
+
+
+def set_guest_reg(core: ArmCore, name: str, value: int) -> None:
+    core.set(_ARM_REG_OF_GUEST[name], value)
+
+
+def guest_flag(core: ArmCore, name: str) -> int:
+    return core.get(GUEST_FLAG_MAP[f"g_{name}"])
+
+
+def _bits_to_double(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & U64))[0]
+
+
+def _double_to_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+@dataclass
+class GuestThread:
+    tid: int
+    core_id: int
+    finished: bool = False
+    exit_code: int = 0
+
+
+@dataclass
+class RunStats:
+    """Aggregated execution statistics for a DBT run."""
+
+    blocks_translated: int = 0
+    block_dispatches: int = 0
+    chained_dispatches: int = 0
+    helper_calls: int = 0
+    guest_insns_translated: int = 0
+    plt_calls: int = 0
+    syscalls: int = 0
+    output: list[int] = field(default_factory=list)
+
+
+class Runtime:
+    """Shared services for translated guest code on a machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.stats = RunStats()
+        self.threads: dict[int, GuestThread] = {}
+        self._next_tid = 1
+        self._next_trap = TRAP_BASE
+        self._next_code = CODE_CACHE_BASE
+        #: guest pc -> host pc of the translated block
+        self.block_map: dict[int, int] = {}
+        #: guest pcs whose direct (goto_tb) dispatch is already chained
+        self._chained: set[int] = set()
+        #: guest pc -> PLT thunk callable(core) (host linker entries)
+        self.plt_thunks: dict[int, callable] = {}
+        #: set by the engine: translate(guest_pc) -> host pc
+        self.translator = None
+        #: native mode: code is already host code; no translation.
+        self.native_mode = False
+        #: trap address a native thread returns to when its entry
+        #: function completes (installed by NativeRunner).
+        self.native_exit: int | None = None
+
+        for core in machine.cores:
+            core.svc_handler = self._svc
+
+    # ------------------------------------------------------------------
+    # Address allocation
+    # ------------------------------------------------------------------
+    def alloc_trap(self, fn) -> int:
+        """Install ``fn`` at a fresh trap address on every core."""
+        addr = self._next_trap
+        self._next_trap += 0x10
+        for core in self.machine.cores:
+            core.traps[addr] = fn
+        return addr
+
+    def alloc_code(self, size: int) -> int:
+        addr = self._next_code
+        self._next_code += (size + 0xFF) & ~0xFF
+        return addr
+
+    # ------------------------------------------------------------------
+    # Helper implementations (Section 2.3 / 6.3)
+    # ------------------------------------------------------------------
+    def make_helper_trap(self, helper: str, arg_regs: tuple[str, ...],
+                         ret_reg: str | None) -> int:
+        impl = getattr(self, f"_helper_{helper.removeprefix('helper_')}",
+                       None)
+        if impl is None and helper != "dispatch":
+            raise TranslationError(f"unknown helper {helper!r}")
+
+        def trap(core: ArmCore) -> None:
+            core.cycles += core.costs.helper_call
+            self.stats.helper_calls += 1
+            args = [core.get(r) for r in arg_regs]
+            result = impl(core, *args)
+            if result is RETRY:
+                return  # pc still points at the trap: re-enter next step
+            if ret_reg is not None:
+                core.set(ret_reg, 0 if result is None else result)
+            core.pc = core.get("x30")
+
+        return self.alloc_trap(trap)
+
+    # --- RMW helpers: QEMU's GCC-builtin-backed emulation ------------
+    def _atomic_entry(self, core: ArmCore, addr: int) -> None:
+        """Common cost/ordering work of an atomic helper: the builtin
+        compiles to casal/ldaxr+stlxr, which drains the buffer."""
+        core.drain_buffer()
+        if core.coherence:
+            core.cycles += core.coherence.on_write(core.core_id, addr)
+        core.cycles += core.costs.cas_op
+
+    def _helper_cmpxchg(self, core: ArmCore, addr: int, expected: int,
+                        new: int) -> int:
+        self._atomic_entry(core, addr)
+        old = self.machine.memory.load_word(addr)
+        if old == expected:
+            self.machine.memory.store_word(addr, new)
+        return old
+
+    def _helper_xadd(self, core: ArmCore, addr: int,
+                     addend: int) -> int:
+        self._atomic_entry(core, addr)
+        old = self.machine.memory.load_word(addr)
+        self.machine.memory.store_word(addr, (old + addend) & U64)
+        return old
+
+    def _helper_xchg(self, core: ArmCore, addr: int, new: int) -> int:
+        self._atomic_entry(core, addr)
+        old = self.machine.memory.load_word(addr)
+        self.machine.memory.store_word(addr, new)
+        return old
+
+    # --- softfloat helpers (QEMU's FP emulation, Section 7.3) --------
+    def _softfloat(self, core: ArmCore) -> None:
+        core.cycles += core.costs.fp_emulated
+
+    def _helper_fadd(self, core: ArmCore, a: int, b: int) -> int:
+        self._softfloat(core)
+        return _double_to_bits(_bits_to_double(a) + _bits_to_double(b))
+
+    def _helper_fmul(self, core: ArmCore, a: int, b: int) -> int:
+        self._softfloat(core)
+        return _double_to_bits(_bits_to_double(a) * _bits_to_double(b))
+
+    def _helper_fdiv(self, core: ArmCore, a: int, b: int) -> int:
+        self._softfloat(core)
+        db = _bits_to_double(b)
+        if db == 0.0:
+            raise GuestFault("guest float division by zero")
+        return _double_to_bits(_bits_to_double(a) / db)
+
+    def _helper_fsqrt(self, core: ArmCore, a: int) -> int:
+        self._softfloat(core)
+        da = _bits_to_double(a)
+        if da < 0:
+            raise GuestFault("guest sqrt of negative value")
+        return _double_to_bits(math.sqrt(da))
+
+    def _helper_halt(self, core: ArmCore) -> None:
+        self._finish_thread(core, guest_reg(core, "rdi"))
+
+    def _helper_syscall(self, core: ArmCore):
+        return self._do_syscall(core)
+
+    # ------------------------------------------------------------------
+    # Syscalls
+    # ------------------------------------------------------------------
+    def _svc(self, core: ArmCore, imm: int) -> None:
+        # Native (non-translated) code path: pc has advanced past the
+        # SVC; a blocking syscall rewinds it to retry.
+        if self._do_syscall(core) is RETRY:
+            core.pc -= _SVC_SIZE
+
+    def _do_syscall(self, core: ArmCore):
+        number = guest_reg(core, "rax")
+        self.stats.syscalls += 1
+        core.cycles += core.costs.syscall
+        if number == SYS_EXIT:
+            self._finish_thread(core, guest_reg(core, "rdi"))
+        elif number == SYS_WRITE_INT:
+            self.stats.output.append(guest_reg(core, "rdi"))
+            set_guest_reg(core, "rax", 0)
+        elif number == SYS_SPAWN:
+            tid = self._spawn(guest_reg(core, "rdi"),
+                              guest_reg(core, "rsi"))
+            set_guest_reg(core, "rax", tid)
+        elif number == SYS_JOIN:
+            target = self.threads.get(guest_reg(core, "rdi"))
+            if target is None:
+                set_guest_reg(core, "rax", U64)  # -1: no such thread
+            elif target.finished:
+                set_guest_reg(core, "rax", 0)
+            else:
+                core.cycles += 40  # polling backoff
+                return RETRY
+        else:
+            raise GuestFault(f"unknown guest syscall {number}")
+        return None
+
+    def _finish_thread(self, core: ArmCore, exit_code: int) -> None:
+        thread = self._thread_of(core)
+        if thread:
+            thread.finished = True
+            thread.exit_code = exit_code
+        core.drain_buffer()
+        core.halted = True
+
+    def _thread_of(self, core: ArmCore) -> GuestThread | None:
+        for thread in self.threads.values():
+            if thread.core_id == core.core_id:
+                return thread
+        return None
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+    def start_main_thread(self, entry_pc: int) -> GuestThread:
+        return self._start_thread(entry_pc, arg=None)
+
+    def _spawn(self, fn_pc: int, arg: int) -> int:
+        thread = self._start_thread(fn_pc, arg=arg)
+        return thread.tid
+
+    def _start_thread(self, entry_pc: int, arg: int | None) -> GuestThread:
+        core = self._free_core()
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = GuestThread(tid=tid, core_id=core.core_id)
+        self.threads[tid] = thread
+
+        stack_top = STACK_BASE + core.core_id * STACK_SIZE \
+            + STACK_SIZE - 0x100
+        if arg is not None:
+            set_guest_reg(core, "rdi", arg)
+        if self.native_mode:
+            core.set("sp", stack_top)
+            core.set("x30", self.native_exit)
+            core.pc = entry_pc
+        else:
+            # Returning from the entry function lands on THREAD_EXIT_PC.
+            self.machine.memory.store_word(stack_top - 8,
+                                           THREAD_EXIT_PC)
+            set_guest_reg(core, "rsp", stack_top - 8)
+            self.dispatch_to(core, entry_pc)
+        core.halted = False
+        return thread
+
+    def _free_core(self) -> ArmCore:
+        used = {t.core_id for t in self.threads.values()
+                if not t.finished}
+        for core in self.machine.cores:
+            if core.core_id not in used:
+                return core
+        raise GuestFault(
+            f"no free core for guest thread "
+            f"({len(self.machine.cores)} cores)")
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def make_dispatch_trap(self, direct: bool) -> int:
+        def trap(core: ArmCore) -> None:
+            target = core.get("x7")
+            self._dispatch(core, target, direct=direct)
+
+        return self.alloc_trap(trap)
+
+    def dispatch_to(self, core: ArmCore, guest_pc: int) -> None:
+        self._dispatch(core, guest_pc, direct=False)
+
+    def _dispatch(self, core: ArmCore, guest_pc: int,
+                  direct: bool) -> None:
+        if guest_pc == THREAD_EXIT_PC:
+            self._finish_thread(core, guest_reg(core, "rax"))
+            return
+        thunk = self.plt_thunks.get(guest_pc)
+        if thunk is not None:
+            thunk(core)
+            return
+        self.stats.block_dispatches += 1
+        host_pc = self.block_map.get(guest_pc)
+        if host_pc is None:
+            if self.translator is None:
+                raise TranslationError("runtime has no translator bound")
+            host_pc = self.translator(guest_pc)
+            self.block_map[guest_pc] = host_pc
+            core.cycles += core.costs.tb_entry
+        elif direct and guest_pc in self._chained:
+            core.cycles += core.costs.tb_chain
+            self.stats.chained_dispatches += 1
+        else:
+            core.cycles += core.costs.tb_entry
+            if direct:
+                self._chained.add(guest_pc)
+        core.pc = host_pc

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the Risotto reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError`, so callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LitmusError(ReproError):
+    """A litmus program is malformed (unknown register, bad operand...)."""
+
+
+class ModelError(ReproError):
+    """A memory-model definition was asked something it cannot answer."""
+
+
+class MappingError(ReproError):
+    """A mapping scheme cannot translate the given construct."""
+
+
+class AssemblerError(ReproError):
+    """Assembly source could not be parsed or encoded."""
+
+
+class DecodeError(ReproError):
+    """A byte sequence does not decode to a known instruction."""
+
+
+class TranslationError(ReproError):
+    """The DBT failed to translate a guest basic block."""
+
+
+class MachineError(ReproError):
+    """The simulated host machine hit an illegal state."""
+
+
+class GuestFault(ReproError):
+    """The emulated guest program faulted (bad memory access, bad opcode)."""
+
+
+class LoaderError(ReproError):
+    """A guest binary image or IDL file is malformed."""
+
+
+class LinkError(LoaderError):
+    """The dynamic host linker could not resolve or marshal a call."""

@@ -1,0 +1,18 @@
+"""Instruction-set definitions for the guest (x86) and host (Arm) ISAs.
+
+Both ISAs are compact but complete enough to exercise every code path
+the paper's translator needs: loads/stores with addressing modes, ALU
+and flag-setting ops, branches and calls, fences, and the atomic RMW
+families (``LOCK CMPXCHG``/``XADD`` on x86; exclusives, ``CAS`` and
+``LDADD`` on Arm).
+
+Byte encodings are this library's own fixed scheme (see
+:mod:`repro.isa.common`): faithful x86/A64 bit-level encodings are out
+of scope per DESIGN.md — the translator's interesting behaviour lives in
+the decode→IR→encode pipeline and the memory-ordering semantics, not in
+ModRM bytes.
+"""
+
+from .common import Imm, Insn, Label, Mem, Reg
+
+__all__ = ["Imm", "Insn", "Label", "Mem", "Reg"]

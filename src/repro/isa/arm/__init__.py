@@ -1,0 +1,21 @@
+"""Host Arm ISA: instruction set, assembler, byte coder."""
+
+from .assembler import Assembly, assemble, parse_line, parse_operand
+from .insns import (
+    ACCESS_ORDERING,
+    BLOCK_TERMINATORS,
+    CODER,
+    CONDITIONAL_BRANCHES,
+    CONDITIONS,
+    GPR,
+    LINK_REGISTER,
+    OPCODES,
+    REGISTER_IDS,
+)
+
+__all__ = [
+    "Assembly", "assemble", "parse_line", "parse_operand",
+    "ACCESS_ORDERING", "BLOCK_TERMINATORS", "CODER",
+    "CONDITIONAL_BRANCHES", "CONDITIONS", "GPR", "LINK_REGISTER",
+    "OPCODES", "REGISTER_IDS",
+]

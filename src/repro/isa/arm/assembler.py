@@ -1,0 +1,176 @@
+"""A two-pass text assembler for the host Arm subset.
+
+Syntax (A64-flavoured)::
+
+    // comment
+    loop:
+        mov x0, #42
+        ldr x1, [x2, #8]
+        add x1, x1, x0
+        str x1, [x2, #8]
+        cbnz x3, loop
+        dmbff
+        ret
+
+Branch targets assemble to absolute 64-bit immediates (same layout
+trick as the x86 assembler).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...errors import AssemblerError
+from ..common import Imm, Insn, Label, Mem, Reg
+from .insns import CODER, REGISTER_IDS
+
+_LABEL_RE = re.compile(r"^([.\w]+):$")
+_INT_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+_IDENT_RE = re.compile(r"^[.\w]+$")
+
+
+@dataclass
+class Assembly:
+    """The result of assembling one Arm source unit."""
+
+    code: bytes
+    base: int
+    labels: dict[str, int]
+    insns: list[Insn]
+    addresses: list[int]
+
+    def label(self, name: str) -> int:
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise AssemblerError(f"unknown label {name!r}") from None
+
+
+def parse_operand(text: str) -> Reg | Imm | Mem | Label:
+    text = text.strip()
+    if not text:
+        raise AssemblerError("empty operand")
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise AssemblerError(f"unterminated memory operand {text!r}")
+        return _parse_mem(text[1:-1])
+    if text.startswith("#"):
+        body = text[1:]
+        if not _INT_RE.match(body):
+            raise AssemblerError(f"bad immediate {text!r}")
+        return Imm(int(body, 0))
+    lowered = text.lower()
+    if lowered in REGISTER_IDS:
+        return Reg(lowered)
+    if _INT_RE.match(text):
+        return Imm(int(text, 0))
+    if _IDENT_RE.match(text):
+        return Label(text)
+    raise AssemblerError(f"cannot parse operand {text!r}")
+
+
+def _parse_mem(inner: str) -> Mem:
+    parts = [p.strip() for p in inner.split(",")]
+    if not parts or parts[0].lower() not in REGISTER_IDS:
+        raise AssemblerError(f"bad base register in [{inner}]")
+    base = parts[0].lower()
+    offset = 0
+    index = None
+    if len(parts) == 2:
+        second = parts[1]
+        if second.startswith("#"):
+            offset = int(second[1:], 0)
+        elif second.lower() in REGISTER_IDS:
+            index = second.lower()
+        else:
+            raise AssemblerError(f"bad memory term {second!r}")
+    elif len(parts) > 2:
+        raise AssemblerError(f"too many memory terms in [{inner}]")
+    return Mem(base=base, offset=offset, index=index, scale=1)
+
+
+def parse_line(line: str) -> Insn | str | None:
+    code = line.split("//", 1)[0].strip()
+    if not code:
+        return None
+    match = _LABEL_RE.match(code)
+    if match:
+        return match.group(1)
+    parts = code.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands: tuple = ()
+    if len(parts) > 1:
+        operands = tuple(
+            parse_operand(tok) for tok in _split_operands(parts[1])
+        )
+    return Insn(mnemonic, operands)
+
+
+def _split_operands(text: str) -> list[str]:
+    out, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        out.append("".join(current))
+    return [tok for tok in (t.strip() for t in out) if tok]
+
+
+def assemble(source: str, base: int = 0x10000000,
+             external_labels: dict[str, int] | None = None) -> Assembly:
+    """Assemble Arm text into bytes loaded at ``base``."""
+    items: list[Insn | str] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        try:
+            item = parse_line(line)
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+        if item is not None:
+            items.append(item)
+
+    labels: dict[str, int] = dict(external_labels or {})
+    addresses: list[int] = []
+    insns: list[Insn] = []
+    cursor = base
+    for item in items:
+        if isinstance(item, str):
+            if item in labels:
+                raise AssemblerError(f"duplicate label {item!r}")
+            labels[item] = cursor
+            continue
+        placeholder = Insn(
+            item.mnemonic,
+            tuple(Imm(0) if isinstance(op, Label) else op
+                  for op in item.operands),
+        )
+        addresses.append(cursor)
+        insns.append(item)
+        cursor += CODER.encoded_size(placeholder)
+
+    code = bytearray()
+    resolved_insns = []
+    for insn in insns:
+        resolved_ops = []
+        for op in insn.operands:
+            if isinstance(op, Label):
+                if op.name not in labels:
+                    raise AssemblerError(f"undefined label {op.name!r}")
+                resolved_ops.append(Imm(labels[op.name]))
+            else:
+                resolved_ops.append(op)
+        resolved = Insn(insn.mnemonic, tuple(resolved_ops))
+        resolved_insns.append(resolved)
+        code.extend(CODER.encode(resolved))
+
+    return Assembly(
+        code=bytes(code), base=base, labels=labels,
+        insns=resolved_insns, addresses=addresses,
+    )

@@ -1,0 +1,208 @@
+"""A two-pass text assembler for the guest x86 subset.
+
+Syntax (Intel-flavoured)::
+
+    ; comment
+    start:
+        mov rax, 5
+        mov rcx, [rbx + 8]
+        mov [rbx + rcx*8 + 16], rax
+        lock cmpxchg [rdi], rsi
+        jne start
+        ret
+
+Branch targets assemble to absolute 64-bit immediates, so pass one
+only needs operand *kinds* to lay out addresses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...errors import AssemblerError
+from ..common import Imm, Insn, Label, Mem, Reg
+from .insns import CODER, REGISTER_IDS
+
+_LABEL_RE = re.compile(r"^([.\w]+):$")
+_INT_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+_IDENT_RE = re.compile(r"^[.\w]+$")
+
+
+@dataclass
+class Assembly:
+    """The result of assembling one source unit."""
+
+    code: bytes
+    base: int
+    labels: dict[str, int]
+    insns: list[Insn]
+    #: Byte address of each instruction, parallel to ``insns``.
+    addresses: list[int]
+
+    def label(self, name: str) -> int:
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise AssemblerError(f"unknown label {name!r}") from None
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def parse_operand(text: str) -> Reg | Imm | Mem | Label:
+    """Parse one operand: register, immediate, memory ref, or label."""
+    text = text.strip()
+    if not text:
+        raise AssemblerError("empty operand")
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise AssemblerError(f"unterminated memory operand {text!r}")
+        return _parse_mem(text[1:-1])
+    lowered = text.lower()
+    if lowered in REGISTER_IDS:
+        return Reg(lowered)
+    if _INT_RE.match(text):
+        return Imm(_parse_int(text))
+    if _IDENT_RE.match(text):
+        return Label(text)
+    raise AssemblerError(f"cannot parse operand {text!r}")
+
+
+def _parse_mem(inner: str) -> Mem:
+    base: str | None = None
+    index: str | None = None
+    scale = 1
+    offset = 0
+    # Normalize "a - 4" into "+ -4" then split on '+'.
+    normalized = inner.replace("-", "+-")
+    for raw in normalized.split("+"):
+        term = "".join(raw.split())  # drop all internal whitespace
+        if not term:
+            continue
+        lowered = term.lower()
+        if "*" in term:
+            reg_part, scale_part = (p.strip() for p in term.split("*", 1))
+            if reg_part.lower() not in REGISTER_IDS:
+                raise AssemblerError(f"bad index register {reg_part!r}")
+            if index is not None:
+                raise AssemblerError(f"two index registers in [{inner}]")
+            index = reg_part.lower()
+            scale = _parse_int(scale_part)
+        elif lowered in REGISTER_IDS:
+            if base is None:
+                base = lowered
+            elif index is None:
+                index = lowered
+            else:
+                raise AssemblerError(f"too many registers in [{inner}]")
+        elif _INT_RE.match(term):
+            offset += _parse_int(term)
+        else:
+            raise AssemblerError(f"cannot parse memory term {term!r}")
+    return Mem(base=base, offset=offset, index=index, scale=scale)
+
+
+def parse_line(line: str) -> Insn | str | None:
+    """Parse a source line into an Insn, a label name, or None."""
+    code = line.split(";", 1)[0].strip()
+    if not code:
+        return None
+    match = _LABEL_RE.match(code)
+    if match:
+        return match.group(1)
+    lock = False
+    if code.lower().startswith("lock "):
+        lock = True
+        code = code[5:].strip()
+    parts = code.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands: tuple = ()
+    if len(parts) > 1:
+        operands = tuple(
+            parse_operand(tok) for tok in _split_operands(parts[1])
+        )
+    return Insn(mnemonic, operands, lock=lock)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas that are not inside brackets."""
+    out, depth, current = [], 0, []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            out.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        out.append("".join(current))
+    return [tok for tok in (t.strip() for t in out) if tok]
+
+
+def _resolve(insn: Insn, labels: dict[str, int]) -> Insn:
+    resolved = []
+    for op in insn.operands:
+        if isinstance(op, Label):
+            if op.name not in labels:
+                raise AssemblerError(f"undefined label {op.name!r}")
+            resolved.append(Imm(labels[op.name]))
+        else:
+            resolved.append(op)
+    return Insn(insn.mnemonic, tuple(resolved), lock=insn.lock)
+
+
+def assemble(source: str, base: int = 0x400000,
+             external_labels: dict[str, int] | None = None) -> Assembly:
+    """Assemble text into bytes loaded at ``base``.
+
+    ``external_labels`` lets callers pre-bind symbols (e.g. PLT entry
+    addresses injected by the guest-binary builder).
+    """
+    items: list[Insn | str] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        try:
+            item = parse_line(line)
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {lineno}: {exc}") from exc
+        if item is not None:
+            items.append(item)
+
+    # Pass 1: lay out addresses.  Label operands have the same encoded
+    # size as immediates, so sizes are final already.
+    labels: dict[str, int] = dict(external_labels or {})
+    addresses: list[int] = []
+    insns: list[Insn] = []
+    cursor = base
+    for item in items:
+        if isinstance(item, str):
+            if item in labels:
+                raise AssemblerError(f"duplicate label {item!r}")
+            labels[item] = cursor
+            continue
+        placeholder = Insn(
+            item.mnemonic,
+            tuple(Imm(0) if isinstance(op, Label) else op
+                  for op in item.operands),
+            lock=item.lock,
+        )
+        addresses.append(cursor)
+        insns.append(item)
+        cursor += CODER.encoded_size(placeholder)
+
+    # Pass 2: resolve and encode.
+    code = bytearray()
+    resolved_insns = []
+    for insn in insns:
+        resolved = _resolve(insn, labels)
+        resolved_insns.append(resolved)
+        code.extend(CODER.encode(resolved))
+
+    return Assembly(
+        code=bytes(code), base=base, labels=labels,
+        insns=resolved_insns, addresses=addresses,
+    )

@@ -1,0 +1,117 @@
+"""The guest x86 instruction set (a faithful 64-bit subset).
+
+Covers everything the paper's translator needs from guest binaries:
+data movement, ALU with flags, branches/calls/stack, fences, and the
+``LOCK``-prefixed RMW family.  ``FADD``/``FMUL``/``FDIV``/``FSQRT``
+stand in for SSE scalar-double arithmetic on general registers (the
+value is an IEEE-754 double bit pattern) — the substitution documented
+in DESIGN.md that lets us reproduce QEMU's software-float emulation
+cost without modelling XMM state.
+"""
+
+from __future__ import annotations
+
+from ..common import InsnCoder
+
+#: General-purpose registers, in encoding order.
+GPR: tuple[str, ...] = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+REGISTER_IDS: dict[str, int] = {name: i for i, name in enumerate(GPR)}
+
+#: Flag names (subset sufficient for the conditions below).
+FLAGS: tuple[str, ...] = ("zf", "sf", "cf", "of")
+
+#: Condition-code suffix -> predicate over flags, used by Jcc and the
+#: TCG frontend's setcond/brcond generation.
+CONDITIONS: dict[str, str] = {
+    "e": "zf",
+    "ne": "!zf",
+    "l": "sf!=of",
+    "ge": "sf==of",
+    "le": "zf|sf!=of",
+    "g": "!zf&sf==of",
+    "b": "cf",
+    "ae": "!cf",
+    "be": "cf|zf",
+    "a": "!cf&!zf",
+    "s": "sf",
+    "ns": "!sf",
+}
+
+#: Opcode assignments.  Gaps are left between groups for future ops.
+OPCODES: dict[str, int] = {
+    # data movement
+    "mov": 0x01,
+    "lea": 0x02,
+    "movzx": 0x03,
+    # ALU
+    "add": 0x10,
+    "sub": 0x11,
+    "and": 0x12,
+    "or": 0x13,
+    "xor": 0x14,
+    "shl": 0x15,
+    "shr": 0x16,
+    "sar": 0x17,
+    "imul": 0x18,
+    "div": 0x19,
+    "inc": 0x1A,
+    "dec": 0x1B,
+    "neg": 0x1C,
+    "not": 0x1D,
+    # flags
+    "cmp": 0x20,
+    "test": 0x21,
+    # control flow
+    "jmp": 0x30,
+    "je": 0x31,
+    "jne": 0x32,
+    "jl": 0x33,
+    "jge": 0x34,
+    "jle": 0x35,
+    "jg": 0x36,
+    "jb": 0x37,
+    "jae": 0x38,
+    "jbe": 0x39,
+    "ja": 0x3A,
+    "js": 0x3B,
+    "jns": 0x3C,
+    "call": 0x3D,
+    "ret": 0x3E,
+    # stack
+    "push": 0x40,
+    "pop": 0x41,
+    # fences and atomics
+    "mfence": 0x50,
+    "lfence": 0x51,
+    "sfence": 0x52,
+    "cmpxchg": 0x53,
+    "xadd": 0x54,
+    "xchg": 0x55,
+    # pseudo scalar-double FP on general registers
+    "fadd": 0x60,
+    "fmul": 0x61,
+    "fdiv": 0x62,
+    "fsqrt": 0x63,
+    # system
+    "syscall": 0x70,
+    "nop": 0x71,
+    "hlt": 0x72,
+}
+
+#: Mnemonics that end a basic block for the translator.
+BLOCK_TERMINATORS: frozenset[str] = frozenset(
+    {"jmp", "call", "ret", "hlt", "syscall"}
+    | {m for m in OPCODES if m.startswith("j") and m != "jmp"} | {"jmp"}
+)
+
+#: Conditional jumps (mnemonic -> condition suffix).
+CONDITIONAL_JUMPS: dict[str, str] = {
+    f"j{suffix}": suffix for suffix in CONDITIONS
+}
+
+#: The coder instance for this ISA (LOCK prefix allowed).
+CODER = InsnCoder("x86", OPCODES, REGISTER_IDS, allow_lock=True)

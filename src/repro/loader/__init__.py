@@ -1,0 +1,27 @@
+"""Guest binary loading and Risotto's dynamic host library linker."""
+
+from .gelf import (
+    DATA_BASE,
+    GuestBinary,
+    LIB_BASE,
+    PLT_BASE,
+    Section,
+    TEXT_BASE,
+    build_binary,
+)
+from .hostlibs import (
+    ARG_REGISTERS,
+    HostFunction,
+    HostLibrary,
+    merge_libraries,
+)
+from .idl import Signature, parse_idl
+from .linker import HostLinker, LinkReport, link_binary
+
+__all__ = [
+    "DATA_BASE", "GuestBinary", "LIB_BASE", "PLT_BASE", "Section",
+    "TEXT_BASE", "build_binary",
+    "ARG_REGISTERS", "HostFunction", "HostLibrary", "merge_libraries",
+    "Signature", "parse_idl",
+    "HostLinker", "LinkReport", "link_binary",
+]

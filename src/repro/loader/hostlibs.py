@@ -1,0 +1,158 @@
+"""Host shared libraries: native implementations of guest imports.
+
+A :class:`HostFunction` bundles one shared-library entry point:
+
+* its IDL :class:`~repro.loader.idl.Signature`,
+* the *guest* x86 implementation (the "guest shared library" body that
+  gets translated when the host linker is off),
+* a *native cost* formula — the cycles the precompiled host version
+  takes.
+
+The native implementation's **result** is obtained by running the guest
+implementation through the x86 reference interpreter against the same
+machine memory: host and guest versions therefore agree bit-for-bit by
+construction (the property the paper relies on for transparent
+linking), while their **costs** differ exactly the way precompiled vs
+translated code does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import LinkError
+from ..isa.x86.assembler import Assembly, assemble
+from ..isa.x86.semantics import CpuState, X86Interpreter
+from .idl import Signature
+
+#: Private address range for interpreting host-function bodies and the
+#: scratch stack the interpreter uses.
+_EVAL_CODE_BASE = 0xF100_0000
+_EVAL_STACK_TOP = 0xF1F0_0000
+_RETURN_SENTINEL = 0xF1FF_FFF0
+
+#: x86 SysV-ish integer argument registers (used for all IDL types;
+#: f64 travels as its bit pattern — the simplification DESIGN.md notes).
+ARG_REGISTERS: tuple[str, ...] = ("rdi", "rsi", "rdx", "rcx")
+
+
+class _EvalMemory:
+    """Memory adapter: code fetches from the function body, data from
+    the live machine memory (so ``ptr`` arguments work)."""
+
+    def __init__(self, machine_memory, assembly: Assembly):
+        self._memory = machine_memory
+        self._assembly = assembly
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        base = self._assembly.base
+        if base <= addr < base + len(self._assembly.code):
+            off = addr - base
+            return self._assembly.code[off:off + count]
+        return self._memory.read_bytes(addr, count)
+
+    def load_word(self, addr: int) -> int:
+        return self._memory.load_word(addr)
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._memory.store_word(addr, value)
+
+
+@dataclass
+class HostFunction:
+    """One dynamically linkable library function."""
+
+    signature: Signature
+    guest_asm: str
+    #: cycles the native host version takes, as f(args).
+    native_cost: Callable[..., int]
+    _assembly: Assembly | None = field(default=None, repr=False)
+
+    @property
+    def name(self) -> str:
+        return self.signature.name
+
+    def assembly(self) -> Assembly:
+        if self._assembly is None:
+            self._assembly = assemble(self.guest_asm,
+                                      base=_EVAL_CODE_BASE)
+            if self.name not in self._assembly.labels:
+                raise LinkError(
+                    f"{self.name}: guest implementation defines no "
+                    f"{self.name}: label")
+        return self._assembly
+
+    def invoke(self, machine_memory, args: tuple[int, ...],
+               max_steps: int = 2_000_000) -> int:
+        """Run the native version: guest semantics, host speed."""
+        if len(args) != len(self.signature.params):
+            raise LinkError(
+                f"{self.name}: expected {len(self.signature.params)} "
+                f"args, got {len(args)}")
+        assembly = self.assembly()
+        memory = _EvalMemory(machine_memory, assembly)
+        state = CpuState()
+        state.rip = assembly.labels[self.name]
+        state.regs["rsp"] = _EVAL_STACK_TOP
+        for register, value in zip(ARG_REGISTERS, args):
+            state.regs[register] = value & ((1 << 64) - 1)
+        # The body ends with `ret`; give it a sentinel return address.
+        state.regs["rsp"] -= 8
+        memory.store_word(state.regs["rsp"], _RETURN_SENTINEL)
+        interp = X86Interpreter(memory)
+        steps = 0
+        while state.rip != _RETURN_SENTINEL:
+            interp.step(state)
+            steps += 1
+            if steps > max_steps:
+                raise LinkError(
+                    f"{self.name}: native evaluation did not return")
+        return state.regs["rax"]
+
+    def cost(self, args: tuple[int, ...]) -> int:
+        return int(self.native_cost(*args))
+
+
+class HostLibrary:
+    """A named collection of host functions (libm, libcrypto, ...)."""
+
+    def __init__(self, name: str,
+                 functions: dict[str, HostFunction] | None = None):
+        self.name = name
+        self.functions: dict[str, HostFunction] = dict(functions or {})
+
+    def add(self, function: HostFunction) -> None:
+        if function.name in self.functions:
+            raise LinkError(
+                f"{self.name}: duplicate function {function.name!r}")
+        self.functions[function.name] = function
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def __getitem__(self, name: str) -> HostFunction:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise LinkError(
+                f"{self.name} has no function {name!r}") from None
+
+    def guest_sources(self) -> dict[str, str]:
+        """The guest-side library bodies, for GELF building."""
+        return {name: fn.guest_asm
+                for name, fn in self.functions.items()}
+
+    def idl_source(self) -> str:
+        """Emit the IDL file describing this library."""
+        return "\n".join(
+            str(fn.signature) for fn in self.functions.values()
+        ) + "\n"
+
+
+def merge_libraries(*libraries: HostLibrary) -> HostLibrary:
+    merged = HostLibrary("merged")
+    for library in libraries:
+        for function in library.functions.values():
+            merged.add(function)
+    return merged

@@ -1,0 +1,76 @@
+"""The Interface Definition Language of Section 6.2.
+
+Function signatures "in a form similar to C function prototypes"
+describe, at run time, which shared-library functions may be linked to
+their native host versions and how to marshal their arguments::
+
+    # libm
+    f64 sin(f64);
+    f64 atan(f64);
+    # libcrypto
+    i64 md5(ptr, i64);
+    void sqlite_exec(i64, i64, i64);
+
+Types: ``i64`` (integer), ``f64`` (IEEE-754 double, passed as its bit
+pattern), ``ptr`` (guest address), ``void`` (return only).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import LoaderError
+
+TYPES = ("i64", "f64", "ptr", "void")
+
+_PROTO_RE = re.compile(
+    r"^\s*(?P<ret>\w+)\s+(?P<name>\w+)\s*\(\s*(?P<params>[^)]*)\)\s*;\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """One IDL prototype."""
+
+    name: str
+    ret: str
+    params: tuple[str, ...]
+
+    def __post_init__(self):
+        if self.ret not in TYPES:
+            raise LoaderError(f"{self.name}: bad return type {self.ret!r}")
+        for param in self.params:
+            if param not in TYPES or param == "void":
+                raise LoaderError(
+                    f"{self.name}: bad parameter type {param!r}")
+
+    def __str__(self) -> str:
+        return f"{self.ret} {self.name}({', '.join(self.params)});"
+
+
+def parse_idl(source: str) -> dict[str, Signature]:
+    """Parse an IDL file into {function name: signature}."""
+    signatures: dict[str, Signature] = {}
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        match = _PROTO_RE.match(line)
+        if not match:
+            raise LoaderError(f"IDL line {lineno}: cannot parse {raw!r}")
+        params_text = match.group("params").strip()
+        params: tuple[str, ...] = ()
+        if params_text and params_text != "void":
+            params = tuple(p.strip() for p in params_text.split(","))
+        signature = Signature(
+            name=match.group("name"),
+            ret=match.group("ret"),
+            params=params,
+        )
+        if signature.name in signatures:
+            raise LoaderError(
+                f"IDL line {lineno}: duplicate prototype for "
+                f"{signature.name!r}")
+        signatures[signature.name] = signature
+    return signatures

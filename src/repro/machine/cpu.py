@@ -1,0 +1,438 @@
+"""The simulated Arm core: fetch/decode/execute with weak memory.
+
+Each core owns a store buffer (see :mod:`repro.machine.weakmem`), an
+exclusive monitor for LDXR/STXR pairs (with seeded *spurious failures*,
+which the paper calls out as an LX/SX hazard x86 RMWs don't have), a
+cycle counter driven by the :class:`~repro.machine.timing.CostModel`,
+and a trap table through which the DBT runtime installs Python-level
+entry points (QEMU-style helpers, native host library functions).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable
+
+from ..errors import MachineError
+from ..isa.arm.insns import (
+    ACCESS_ORDERING,
+    CODER,
+    CONDITIONAL_BRANCHES,
+    CONDITIONS,
+    GPR,
+    LINK_REGISTER,
+)
+from ..isa.common import Imm, Insn, Mem, Reg
+from .memory import CoherenceTracker, Memory
+from .timing import CostModel, fence_cost
+from .weakmem import BufferMode, StoreBuffer
+
+U64 = (1 << 64) - 1
+
+
+def cond_index(name: str) -> int:
+    """Encoding of a condition name for CSET/CSEL immediates."""
+    return CONDITIONS.index(name)
+
+
+def _bits_to_double(bits: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", bits & U64))[0]
+
+
+def _double_to_bits(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+@dataclass
+class ArmCore:
+    """One simulated core."""
+
+    core_id: int
+    memory: Memory
+    costs: CostModel
+    coherence: CoherenceTracker | None = None
+    buffer_mode: BufferMode = BufferMode.WEAK
+    rng: Random = field(default_factory=lambda: Random(0))
+    #: Probability an STXR fails spuriously even with a valid monitor.
+    spurious_failure_rate: float = 0.0
+
+    regs: dict[str, int] = field(default_factory=dict)
+    flags: dict[str, bool] = field(default_factory=dict)
+    pc: int = 0
+    cycles: int = 0
+    halted: bool = True
+    insn_count: int = 0
+    #: Cycles attributable to DMB fences (for the fence-share metric).
+    fence_cycles: int = 0
+
+    #: Python-level entry points: pc -> callable(core).
+    traps: dict[int, Callable[["ArmCore"], None]] = field(
+        default_factory=dict)
+    svc_handler: Callable[["ArmCore", int], None] | None = None
+
+    def __post_init__(self):
+        self.regs = {r: 0 for r in GPR}
+        self.flags = {"n": False, "z": False, "c": False, "v": False}
+        self.buffer = StoreBuffer(mode=self.buffer_mode)
+        self._monitor: int | None = None
+
+    # ------------------------------------------------------------------
+    # Register access (xzr handling)
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> int:
+        if name == "xzr":
+            return 0
+        return self.regs[name]
+
+    def set(self, name: str, value: int) -> None:
+        if name == "xzr":
+            return
+        self.regs[name] = value & U64
+
+    def _value(self, op) -> int:
+        if isinstance(op, Reg):
+            return self.get(op.name)
+        if isinstance(op, Imm):
+            return op.value & U64
+        raise MachineError(f"bad value operand {op!r}")
+
+    def _address(self, op: Mem) -> int:
+        addr = op.offset
+        if op.base:
+            addr += self.get(op.base)
+        if op.index:
+            addr += self.get(op.index) * op.scale
+        return addr & U64
+
+    # ------------------------------------------------------------------
+    # Memory with buffer + coherence
+    # ------------------------------------------------------------------
+    def _mem_load(self, addr: int) -> int:
+        forwarded = self.buffer.forward(addr)
+        if forwarded is not None:
+            return forwarded
+        if self.coherence:
+            self.cycles += self.coherence.on_read(self.core_id, addr)
+        return self.memory.load_word(addr)
+
+    def _mem_store(self, addr: int, value: int) -> None:
+        if self.coherence:
+            self.cycles += self.coherence.on_write(self.core_id, addr)
+        if self.buffer.mode is BufferMode.NONE:
+            self.memory.store_word(addr, value)
+        else:
+            self.buffer.push(addr, value)
+
+    def drain_buffer(self) -> None:
+        self.buffer.drain_all(self.memory)
+
+    #: Per-step probability of draining one buffered store.  Low enough
+    #: that a pair of back-to-back stores coexists in the buffer for a
+    #: handful of cycles — the window litmus stressing needs.
+    drain_probability: float = 0.08
+
+    def maybe_background_drain(self) -> None:
+        """Called by the scheduler between instructions: lazily drain."""
+        if self.buffer.pending() > 8 or \
+                (self.buffer.pending()
+                 and self.rng.random() < self.drain_probability):
+            self.buffer.drain_one(self.memory, self.rng)
+
+    # ------------------------------------------------------------------
+    # Flags
+    # ------------------------------------------------------------------
+    def _set_nzcv_sub(self, a: int, b: int) -> None:
+        result = (a - b) & U64
+        self.flags["n"] = bool(result & (1 << 63))
+        self.flags["z"] = result == 0
+        self.flags["c"] = a >= b  # no borrow
+        sa = a - (1 << 64) if a & (1 << 63) else a
+        sb = b - (1 << 64) if b & (1 << 63) else b
+        sr = result - (1 << 64) if result & (1 << 63) else result
+        self.flags["v"] = (sa >= 0) != (sb >= 0) and (sr >= 0) != (sa >= 0)
+
+    def condition(self, name: str) -> bool:
+        n, z, c, v = (self.flags["n"], self.flags["z"],
+                      self.flags["c"], self.flags["v"])
+        table = {
+            "eq": z,
+            "ne": not z,
+            "lt": n != v,
+            "ge": n == v,
+            "le": z or n != v,
+            "gt": (not z) and n == v,
+            "lo": not c,
+            "hs": c,
+            "ls": (not c) or z,
+            "hi": c and not z,
+            "mi": n,
+            "pl": not n,
+        }
+        return table[name]
+
+    # ------------------------------------------------------------------
+    # Fetch / execute
+    # ------------------------------------------------------------------
+    def start(self, pc: int) -> None:
+        self.pc = pc
+        self.halted = False
+
+    def step(self) -> None:
+        """Execute one instruction (or a trap at the current pc)."""
+        trap = self.traps.get(self.pc)
+        if trap is not None:
+            trap(self)
+            return
+        code = self.memory.read_bytes(self.pc, 32)
+        insn, size = CODER.decode(code)
+        self.pc += size
+        self.execute(insn)
+        self.insn_count += 1
+
+    # ------------------------------------------------------------------
+    def execute(self, insn: Insn) -> None:
+        m = insn.mnemonic
+        ops = insn.operands
+        costs = self.costs
+
+        # -------------------------------------------------- moves/ALU
+        if m in ("mov", "movz"):
+            self.set(ops[0].name, self._value(ops[1]))
+            self.cycles += costs.mov
+            return
+        if m in ("add", "sub", "and", "orr", "eor", "lsl", "lsr",
+                 "asr", "mul", "udiv"):
+            a = self._value(ops[1])
+            b = self._value(ops[2])
+            if m == "add":
+                result = a + b
+            elif m == "sub":
+                result = a - b
+            elif m == "and":
+                result = a & b
+            elif m == "orr":
+                result = a | b
+            elif m == "eor":
+                result = a ^ b
+            elif m == "lsl":
+                result = a << (b & 63)
+            elif m == "lsr":
+                result = a >> (b & 63)
+            elif m == "asr":
+                sa = a - (1 << 64) if a & (1 << 63) else a
+                result = sa >> (b & 63)
+            elif m == "mul":
+                result = a * b
+            else:  # udiv
+                result = a // b if b else 0
+            self.set(ops[0].name, result)
+            self.cycles += costs.alu
+            return
+        if m == "mvn":
+            self.set(ops[0].name, ~self._value(ops[1]) & U64)
+            self.cycles += costs.alu
+            return
+        if m == "neg":
+            self.set(ops[0].name, (-self._value(ops[1])) & U64)
+            self.cycles += costs.alu
+            return
+        if m == "cmp":
+            self._set_nzcv_sub(self._value(ops[0]), self._value(ops[1]))
+            self.cycles += costs.alu
+            return
+        if m == "cset":
+            cond = CONDITIONS[self._value(ops[1])]
+            self.set(ops[0].name, 1 if self.condition(cond) else 0)
+            self.cycles += costs.alu
+            return
+        if m == "csel":
+            cond = CONDITIONS[self._value(ops[3])]
+            value = self._value(ops[1]) if self.condition(cond) \
+                else self._value(ops[2])
+            self.set(ops[0].name, value)
+            self.cycles += costs.alu
+            return
+
+        # -------------------------------------------------- branches
+        if m == "b":
+            self.pc = self._value(ops[0])
+            self.cycles += costs.branch_taken
+            return
+        if m in CONDITIONAL_BRANCHES:
+            if self.condition(CONDITIONAL_BRANCHES[m]):
+                self.pc = self._value(ops[0])
+                self.cycles += costs.branch_taken
+            else:
+                self.cycles += costs.branch
+            return
+        if m in ("cbz", "cbnz"):
+            taken = (self.get(ops[0].name) == 0) == (m == "cbz")
+            if taken:
+                self.pc = self._value(ops[1])
+                self.cycles += costs.branch_taken
+            else:
+                self.cycles += costs.branch
+            return
+        if m == "bl":
+            self.set(LINK_REGISTER, self.pc)
+            self.pc = self._value(ops[0])
+            self.cycles += costs.call
+            return
+        if m == "blr":
+            self.set(LINK_REGISTER, self.pc)
+            self.pc = self.get(ops[0].name)
+            self.cycles += costs.call
+            return
+        if m == "br":
+            self.pc = self.get(ops[0].name)
+            self.cycles += costs.branch_taken
+            return
+        if m == "ret":
+            self.pc = self.get(LINK_REGISTER)
+            self.cycles += costs.branch_taken
+            return
+
+        # -------------------------------------------------- memory
+        if m in ("ldr", "ldar", "ldapr"):
+            addr = self._address(ops[1])
+            self.set(ops[0].name, self._mem_load(addr))
+            self.cycles += costs.load
+            if m != "ldr":
+                self.cycles += costs.acquire_extra
+            return
+        if m == "str":
+            addr = self._address(ops[1])
+            self._mem_store(addr, self.get(ops[0].name))
+            self.cycles += costs.store
+            return
+        if m == "stlr":
+            addr = self._address(ops[1])
+            self.buffer.barrier()
+            self._mem_store(addr, self.get(ops[0].name))
+            self.cycles += costs.store + costs.release_extra
+            return
+        if m in ("ldxr", "ldaxr"):
+            addr = self._address(ops[1])
+            self.set(ops[0].name, self._mem_load(addr))
+            self._monitor = addr
+            self.cycles += costs.exclusive_op
+            if m == "ldaxr":
+                self.cycles += costs.acquire_extra
+            return
+        if m in ("stxr", "stlxr"):
+            status, src, mem = ops
+            addr = self._address(mem)
+            ok = self._monitor == addr
+            if ok and self.spurious_failure_rate and \
+                    self.rng.random() < self.spurious_failure_rate:
+                ok = False
+            if ok:
+                self.drain_buffer()
+                if self.coherence:
+                    self.cycles += self.coherence.on_write(
+                        self.core_id, addr)
+                self.memory.store_word(addr, self.get(src.name))
+                self.set(status.name, 0)
+            else:
+                self.set(status.name, 1)
+            self._monitor = None
+            self.cycles += costs.exclusive_op
+            if m == "stlxr":
+                self.cycles += costs.release_extra
+            return
+        if m in ("cas", "casa", "casl", "casal"):
+            expected_reg, new_reg, mem = ops
+            addr = self._address(mem)
+            self.drain_buffer()
+            if self.coherence:
+                self.cycles += self.coherence.on_write(
+                    self.core_id, addr)
+            old = self.memory.load_word(addr)
+            if old == self.get(expected_reg.name):
+                self.memory.store_word(addr, self.get(new_reg.name))
+            self.set(expected_reg.name, old)
+            self.cycles += costs.cas_op
+            return
+        if m == "ldaddal":
+            addend_reg, out_reg, mem = ops
+            addr = self._address(mem)
+            self.drain_buffer()
+            if self.coherence:
+                self.cycles += self.coherence.on_write(
+                    self.core_id, addr)
+            old = self.memory.load_word(addr)
+            self.memory.store_word(
+                addr, (old + self.get(addend_reg.name)) & U64)
+            self.set(out_reg.name, old)
+            self.cycles += costs.atomic_add_op
+            return
+        if m == "swpal":
+            src_reg, out_reg, mem = ops
+            addr = self._address(mem)
+            self.drain_buffer()
+            if self.coherence:
+                self.cycles += self.coherence.on_write(
+                    self.core_id, addr)
+            old = self.memory.load_word(addr)
+            self.memory.store_word(addr, self.get(src_reg.name))
+            self.set(out_reg.name, old)
+            self.cycles += costs.atomic_add_op
+            return
+
+        # -------------------------------------------------- fences
+        if m == "dmbff":
+            self.drain_buffer()
+            self.cycles += costs.dmb_ff
+            self.fence_cycles += costs.dmb_ff
+            return
+        if m == "dmbld":
+            cost = fence_cost(costs, m)
+            self.cycles += cost
+            self.fence_cycles += cost
+            return
+        if m == "dmbst":
+            self.buffer.barrier()
+            cost = fence_cost(costs, m)
+            self.cycles += cost
+            self.fence_cycles += cost
+            return
+
+        # -------------------------------------------------- FP
+        if m in ("fadd", "fmul", "fdiv"):
+            a = _bits_to_double(self._value(ops[1]))
+            b = _bits_to_double(self._value(ops[2]))
+            if m == "fadd":
+                value = a + b
+            elif m == "fmul":
+                value = a * b
+            else:
+                value = a / b if b else math.inf
+            self.set(ops[0].name, _double_to_bits(value))
+            self.cycles += costs.fp_native
+            return
+        if m == "fsqrt":
+            a = _bits_to_double(self._value(ops[1]))
+            self.set(ops[0].name,
+                     _double_to_bits(math.sqrt(a) if a >= 0 else math.nan))
+            self.cycles += costs.fp_native
+            return
+
+        # -------------------------------------------------- system
+        if m == "svc":
+            if self.svc_handler is None:
+                raise MachineError("SVC with no handler installed")
+            self.svc_handler(self, self._value(ops[0]))
+            self.cycles += costs.syscall
+            return
+        if m == "nop":
+            self.cycles += costs.alu
+            return
+        if m == "hlt":
+            self.drain_buffer()
+            self.halted = True
+            return
+
+        raise MachineError(f"unimplemented Arm instruction {insn}")

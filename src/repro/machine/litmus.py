@@ -1,0 +1,238 @@
+"""Litmus stress harness: run axiomatic litmus programs on the machine.
+
+Bridges the two halves of the reproduction: a litmus
+:class:`~repro.core.program.Program` at the Arm level is compiled to
+looping Arm assembly (one independent location set per iteration, the
+standard litmus trick to widen reordering windows), executed on the
+operational store-buffer machine over many seeds, and the observed
+per-iteration outcomes are collected.
+
+The key soundness property — checked by the test suite — is that every
+outcome the machine exhibits is allowed by the axiomatic Arm model; the
+converse (all allowed outcomes appear) is *not* expected, since the
+operational engine only models store-side reordering (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.events import Arch, Fence, Mode, RmwFlavor
+from ..core.program import FenceOp, Load, Program, Rmw, Store
+from ..errors import MachineError
+from ..isa.arm.assembler import assemble
+from .scheduler import Machine
+from .weakmem import BufferMode
+
+#: Address layout: each shared location gets a stride-separated array,
+#: one slot per iteration; each thread's observed registers get a
+#: result array.
+_LOC_BASE = 0x100000
+_LOC_SPACING = 0x10000
+_RES_BASE = 0x800000
+_RES_SPACING = 0x10000
+_BAR_BASE = 0xF00000
+_STRIDE = 64  # one cache line per iteration slot
+
+_LOAD_MNEMONIC = {
+    Mode.PLAIN: "ldr",
+    Mode.ACQ: "ldar",
+    Mode.ACQ_PC: "ldapr",
+}
+_STORE_MNEMONIC = {
+    Mode.PLAIN: "str",
+    Mode.REL: "stlr",
+}
+_FENCE_MNEMONIC = {
+    Fence.DMBFF: "dmbff",
+    Fence.DMBLD: "dmbld",
+    Fence.DMBST: "dmbst",
+}
+
+
+@dataclass(frozen=True)
+class _Layout:
+    locations: tuple[str, ...]
+    registers: tuple[tuple[str, ...], ...]  # per-thread observed regs
+
+    def loc_base(self, loc: str) -> int:
+        return _LOC_BASE + self.locations.index(loc) * _LOC_SPACING
+
+    def res_base(self, tid: int, reg: str) -> int:
+        index = sum(len(r) for r in self.registers[:tid]) \
+            + self.registers[tid].index(reg)
+        return _RES_BASE + index * _RES_SPACING
+
+
+def _collect_layout(program: Program) -> _Layout:
+    registers = []
+    for ops in program.threads:
+        regs = []
+        for op in ops:
+            if isinstance(op, Load) and op.reg not in regs:
+                regs.append(op.reg)
+            if isinstance(op, Rmw) and op.out and op.out not in regs:
+                regs.append(op.out)
+        registers.append(tuple(regs))
+    return _Layout(
+        locations=tuple(sorted(program.locations())),
+        registers=tuple(registers),
+    )
+
+
+def compile_thread(program: Program, tid: int, layout: _Layout,
+                   iterations: int) -> str:
+    """Emit looping Arm assembly for one litmus thread.
+
+    Register allocation: x0 = iteration index, x1 = per-iteration byte
+    offset, x2/x3 scratch for addresses and immediates, x4/x5 for CAS
+    operands, x10+ map litmus registers.
+    """
+    reg_map = {reg: f"x{10 + i}"
+               for i, reg in enumerate(layout.registers[tid])}
+    if len(reg_map) > 15:
+        raise MachineError("too many litmus registers for the harness")
+    n_threads = len(program.threads)
+    lines = [
+        "    mov x0, #0",
+        "loop:",
+        f"    mov x1, #{_STRIDE}",
+        "    mul x1, x0, x1",
+        # Sense barrier: align the threads at each iteration so the
+        # racy window actually overlaps (standard litmus technique).
+        f"    mov x2, #{_BAR_BASE}",
+        "    add x2, x2, x1",
+        "    mov x3, #1",
+        "    ldaddal x3, x4, [x2]",
+        "barwait:",
+        "    ldr x4, [x2]",
+        f"    mov x5, #{n_threads}",
+        "    cmp x4, x5",
+        "    b.lo barwait",
+        # Phase sweep: a per-iteration, per-thread delay so the threads'
+        # relative timing scans across the racy window instead of
+        # staying phase-locked (litmus7 does the same with strides).
+        f"    mov x6, #{2 * tid + 1}",
+        "    mul x6, x0, x6",
+        "    and x6, x6, #15",
+        "phase:",
+        "    cbz x6, phasedone",
+        "    sub x6, x6, #1",
+        "    b phase",
+        "phasedone:",
+    ]
+
+    def addr_of(loc: str, into: str) -> None:
+        lines.append(f"    mov {into}, #{layout.loc_base(loc)}")
+        lines.append(f"    add {into}, {into}, x1")
+
+    for op in program.threads[tid]:
+        if isinstance(op, Store):
+            if not isinstance(op.value, int):
+                raise MachineError(
+                    "stress harness supports constant stores only")
+            addr_of(op.loc, "x2")
+            lines.append(f"    mov x3, #{op.value}")
+            lines.append(
+                f"    {_STORE_MNEMONIC[op.mode]} x3, [x2]")
+        elif isinstance(op, Load):
+            addr_of(op.loc, "x2")
+            lines.append(
+                f"    {_LOAD_MNEMONIC[op.mode]} {reg_map[op.reg]}, [x2]")
+        elif isinstance(op, FenceOp):
+            lines.append(f"    {_FENCE_MNEMONIC[op.kind]}")
+        elif isinstance(op, Rmw):
+            addr_of(op.loc, "x2")
+            lines.append(f"    mov x4, #{op.expect}")
+            lines.append(f"    mov x5, #{op.new}")
+            if op.flavor is RmwFlavor.AMO:
+                mnemonic = {
+                    (False, False): "cas",
+                    (True, False): "casa",
+                    (False, True): "casl",
+                    (True, True): "casal",
+                }[(op.acq, op.rel)]
+                lines.append(f"    {mnemonic} x4, x5, [x2]")
+            elif op.flavor is RmwFlavor.LXSX:
+                ldx = "ldaxr" if op.acq else "ldxr"
+                stx = "stlxr" if op.rel else "stxr"
+                tag = f"rmw{len(lines)}"
+                lines.append(f"{tag}_retry:")
+                lines.append(f"    {ldx} x4, [x2]")
+                lines.append(f"    mov x6, #{op.expect}")
+                lines.append("    cmp x4, x6")
+                lines.append(f"    b.ne {tag}_done")
+                lines.append(f"    {stx} x7, x5, [x2]")
+                lines.append(f"    cbnz x7, {tag}_retry")
+                lines.append(f"{tag}_done:")
+            else:
+                raise MachineError(
+                    f"stress harness cannot run {op.flavor} RMWs")
+            if op.out:
+                lines.append(f"    mov {reg_map[op.out]}, x4")
+        else:
+            raise MachineError(
+                f"stress harness cannot compile {op!r}")
+
+    # Publish observed registers for this iteration.
+    for reg, host_reg in reg_map.items():
+        lines.append(f"    mov x2, #{layout.res_base(tid, reg)}")
+        lines.append("    add x2, x2, x1")
+        lines.append(f"    str {host_reg}, [x2]")
+
+    lines += [
+        "    add x0, x0, #1",
+        f"    mov x2, #{iterations}",
+        "    cmp x0, x2",
+        "    b.ne loop",
+        "    hlt",
+    ]
+    return "\n".join(lines)
+
+
+def run_stress(program: Program, iterations: int = 64,
+               seeds: range = range(8),
+               buffer_mode: BufferMode = BufferMode.WEAK) -> frozenset:
+    """Run the litmus program and collect observed outcomes.
+
+    Returns a set of outcomes in the same shape as
+    ``Execution.full_behavior``: register observations keyed
+    ``"T<tid>:<reg>"`` plus final location values.
+    """
+    if program.arch is not Arch.ARM:
+        raise MachineError(
+            f"stress harness needs an Arm-level program, got "
+            f"{program.arch.value}")
+    layout = _collect_layout(program)
+    observed: set[frozenset] = set()
+    for seed in seeds:
+        machine = Machine(
+            n_cores=len(program.threads), seed=seed,
+            buffer_mode=buffer_mode, track_coherence=False,
+        )
+        for loc in layout.locations:
+            init = program.init_value(loc)
+            if init:
+                for i in range(iterations):
+                    machine.memory.store_word(
+                        layout.loc_base(loc) + i * _STRIDE, init)
+        for tid in range(len(program.threads)):
+            asm = compile_thread(program, tid, layout, iterations)
+            assembled = assemble(asm, base=0x10000 + tid * 0x10000)
+            machine.memory.add_image(assembled.base, assembled.code)
+            machine.core(tid).start(assembled.base)
+        machine.run()
+
+        for i in range(iterations):
+            outcome: set[tuple[str, int]] = set()
+            for tid, regs in enumerate(layout.registers):
+                for reg in regs:
+                    addr = layout.res_base(tid, reg) + i * _STRIDE
+                    outcome.add(
+                        (f"T{tid}:{reg}",
+                         machine.memory.load_word(addr)))
+            for loc in layout.locations:
+                addr = layout.loc_base(loc) + i * _STRIDE
+                outcome.add((loc, machine.memory.load_word(addr)))
+            observed.add(frozenset(outcome))
+    return frozenset(observed)

@@ -1,0 +1,127 @@
+"""Shared memory for the simulated host machine.
+
+Word-granular (8-byte) data storage over a sparse dict, plus byte-exact
+code images for instruction fetch.  A small cache-line ownership tracker
+provides the *contention cost* signal used by the CAS benchmark
+(Figure 15): atomics and stores to a line owned by another core pay a
+transfer penalty, so throughput collapses under contention exactly as
+on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import MachineError
+
+WORD = 8
+LINE_SHIFT = 6  # 64-byte cache lines
+
+
+@dataclass
+class Image:
+    base: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+
+class Memory:
+    """Sparse word-addressed memory with code images.
+
+    Data writes shadow code bytes (self-modifying code is out of scope
+    and raises).
+    """
+
+    def __init__(self):
+        self._words: dict[int, int] = {}
+        self._images: list[Image] = []
+
+    # ------------------------------------------------------------------
+    # Code images
+    # ------------------------------------------------------------------
+    def add_image(self, base: int, data: bytes) -> None:
+        for image in self._images:
+            if base < image.end and image.base < base + len(data):
+                raise MachineError(
+                    f"image at 0x{base:x} overlaps image at "
+                    f"0x{image.base:x}")
+        self._images.append(Image(base, bytes(data)))
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        """Fetch raw bytes (instruction fetch path)."""
+        for image in self._images:
+            if image.base <= addr < image.end:
+                off = addr - image.base
+                return image.data[off:off + count]
+        raise MachineError(f"instruction fetch from unmapped 0x{addr:x}")
+
+    def in_image(self, addr: int) -> bool:
+        return any(img.base <= addr < img.end for img in self._images)
+
+    # ------------------------------------------------------------------
+    # Data
+    # ------------------------------------------------------------------
+    def load_word(self, addr: int) -> int:
+        if addr in self._words:
+            return self._words[addr]
+        # Initialized data inside an image (e.g. .data section).
+        for image in self._images:
+            if image.base <= addr and addr + WORD <= image.end:
+                off = addr - image.base
+                return int.from_bytes(
+                    image.data[off:off + WORD], "little")
+        return 0
+
+    def store_word(self, addr: int, value: int) -> None:
+        self._words[addr] = value & ((1 << 64) - 1)
+
+    def snapshot(self) -> dict[int, int]:
+        """Copy of all explicitly-written words (for test assertions)."""
+        return dict(self._words)
+
+
+@dataclass
+class CoherenceTracker:
+    """Cache-line ownership with transfer costs.
+
+    This is intentionally minimal — just enough state for contention to
+    cost time: a line is exclusively owned by one core or shared by
+    many; ownership moves on writes/atomics, sharing on reads.
+    """
+
+    # Cross-core ownership transfer is expensive (hundreds of cycles on
+    # real silicon) — it is what makes contended CAS converge between
+    # QEMU and Risotto in Figure 15.
+    transfer_cost: int = 400
+    share_cost: int = 60
+    _owner: dict[int, int | None] = field(default_factory=dict)
+
+    def _line(self, addr: int) -> int:
+        return addr >> LINE_SHIFT
+
+    def on_read(self, core_id: int, addr: int) -> int:
+        """Extra cycles a read pays; demotes foreign lines to shared."""
+        line = self._line(addr)
+        owner = self._owner.get(line)
+        if owner is None or owner == core_id:
+            return 0
+        self._owner[line] = None  # shared
+        return self.share_cost
+
+    def on_write(self, core_id: int, addr: int) -> int:
+        """Extra cycles a write/atomic pays; takes exclusive ownership."""
+        line = self._line(addr)
+        owner = self._owner.get(line, core_id)
+        self._owner[line] = core_id
+        if owner == core_id:
+            return 0
+        return self.transfer_cost
+
+    def owner_of(self, addr: int) -> int | None:
+        return self._owner.get(self._line(addr))
+
+    def reset(self) -> None:
+        self._owner.clear()

@@ -1,0 +1,97 @@
+"""The multicore host machine: cores + shared memory + global clock.
+
+Execution is event-driven on the cycle clock: at every step, the
+runnable core with the smallest cycle count executes one instruction,
+so cores progress "in parallel" against a single global timeline — the
+machine's elapsed time is the max core clock, and cross-core effects
+(coherence transfers, store-buffer drains) land at plausible points in
+the interleaving.  The interleaving is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+
+from ..errors import MachineError
+from .cpu import ArmCore
+from .memory import CoherenceTracker, Memory
+from .timing import DEFAULT_COSTS, CostModel
+from .weakmem import BufferMode
+
+
+@dataclass
+class Machine:
+    """A simulated Arm host with ``n_cores`` cores."""
+
+    n_cores: int = 4
+    costs: CostModel = DEFAULT_COSTS
+    buffer_mode: BufferMode = BufferMode.WEAK
+    seed: int = 42
+    track_coherence: bool = True
+    spurious_failure_rate: float = 0.0
+    #: Scheduling jitter window (cycles): any runnable core within this
+    #: window of the global minimum may be picked next.  Models the
+    #: micro-timing noise real cores have; litmus stress needs it to
+    #: expose racy windows.
+    jitter: int = 24
+
+    memory: Memory = field(default_factory=Memory)
+    cores: list[ArmCore] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.rng = Random(self.seed)
+        self.coherence = CoherenceTracker() if self.track_coherence \
+            else None
+        for i in range(self.n_cores):
+            self.cores.append(ArmCore(
+                core_id=i,
+                memory=self.memory,
+                costs=self.costs,
+                coherence=self.coherence,
+                buffer_mode=self.buffer_mode,
+                rng=Random(self.seed * 1000 + i),
+                spurious_failure_rate=self.spurious_failure_rate,
+            ))
+
+    # ------------------------------------------------------------------
+    def core(self, core_id: int) -> ArmCore:
+        return self.cores[core_id]
+
+    def runnable(self) -> list[ArmCore]:
+        return [c for c in self.cores if not c.halted]
+
+    def run(self, max_steps: int = 50_000_000) -> int:
+        """Run until every core halts; returns total steps executed."""
+        steps = 0
+        while True:
+            running = self.runnable()
+            if not running:
+                break
+            if steps >= max_steps:
+                raise MachineError(
+                    f"machine did not quiesce within {max_steps} steps")
+            low = min(c.cycles for c in running)
+            window = [c for c in running if c.cycles <= low + self.jitter]
+            core = self.rng.choice(window)
+            core.step()
+            core.maybe_background_drain()
+            steps += 1
+        for core in self.cores:
+            core.drain_buffer()
+        return steps
+
+    # ------------------------------------------------------------------
+    def elapsed_cycles(self) -> int:
+        """Wall-clock of the parallel execution: the max core clock."""
+        return max((c.cycles for c in self.cores), default=0)
+
+    def total_cycles(self) -> int:
+        """CPU-time view: the sum over cores."""
+        return sum(c.cycles for c in self.cores)
+
+    def total_fence_cycles(self) -> int:
+        return sum(c.fence_cycles for c in self.cores)
+
+    def total_insns(self) -> int:
+        return sum(c.insn_count for c in self.cores)

@@ -1,0 +1,197 @@
+"""Constant propagation and folding over one TCG block.
+
+Tracks temps (and in-block globals) with known constant values, folds
+ALU ops, and applies algebraic identities — among them ``x * 0 -> 0``
+and ``x & 0 -> 0``, which is the *false-dependency elimination* of
+Section 6.1: legal precisely because the TCG IR model orders nothing
+through dependencies.
+
+Knowledge is invalidated at labels (join points) and helper calls that
+may write guest globals.
+"""
+
+from __future__ import annotations
+
+from ..ir import Cond, Const, Op, TCGBlock, Temp
+
+U64 = (1 << 64) - 1
+
+
+def _signed(v: int) -> int:
+    return v - (1 << 64) if v & (1 << 63) else v
+
+
+def _eval_alu(name: str, a: int, b: int) -> int | None:
+    if name == "add":
+        return (a + b) & U64
+    if name == "sub":
+        return (a - b) & U64
+    if name == "and":
+        return a & b
+    if name == "or":
+        return a | b
+    if name == "xor":
+        return a ^ b
+    if name == "shl":
+        return (a << (b & 63)) & U64
+    if name == "shr":
+        return a >> (b & 63)
+    if name == "sar":
+        return (_signed(a) >> (b & 63)) & U64
+    if name == "mul":
+        return (a * b) & U64
+    if name == "divu":
+        return (a // b) & U64 if b else None
+    if name == "remu":
+        return (a % b) & U64 if b else None
+    return None
+
+
+def _eval_cond(cond: Cond, a: int, b: int) -> bool:
+    sa, sb = _signed(a), _signed(b)
+    return {
+        Cond.EQ: a == b, Cond.NE: a != b,
+        Cond.LT: sa < sb, Cond.GE: sa >= sb,
+        Cond.LE: sa <= sb, Cond.GT: sa > sb,
+        Cond.LTU: a < b, Cond.GEU: a >= b,
+        Cond.LEU: a <= b, Cond.GTU: a > b,
+    }[cond]
+
+
+_ALU_OPS = frozenset({
+    "add", "sub", "and", "or", "xor", "shl", "shr", "sar",
+    "mul", "divu", "remu",
+})
+
+#: Helpers known not to write guest globals (pure value helpers).
+_PURE_HELPERS = frozenset({
+    "helper_fadd", "helper_fmul", "helper_fdiv", "helper_fsqrt",
+})
+
+
+def constant_propagation(block: TCGBlock) -> int:
+    """Fold and propagate; returns the number of ops simplified."""
+    known: dict[Temp, int] = {}
+    changed = 0
+    new_ops: list[Op] = []
+
+    def resolve(value):
+        if isinstance(value, Temp) and value in known:
+            return Const(known[value])
+        return value
+
+    for op in block.ops:
+        name = op.name
+
+        if name == "set_label":
+            known.clear()  # join point: facts from the fall-through
+            new_ops.append(op)
+            continue
+        if name == "call":
+            helper, ret = op.args[0], op.args[1]
+            args = tuple(resolve(a) for a in op.args[2:])
+            if helper not in _PURE_HELPERS:
+                # May write guest state (syscall): forget globals.
+                known = {t: v for t, v in known.items()
+                         if not t.is_global}
+            if ret is not None:
+                known.pop(ret, None)
+            new_ops.append(Op("call", (helper, ret) + args))
+            continue
+
+        from ..ir import OP_SIGNATURES
+
+        n_out, _ = OP_SIGNATURES[name]
+        args = op.args[:n_out] + tuple(
+            resolve(a) for a in op.args[n_out:])
+
+        if name == "movi":
+            dst, const = args
+            known[dst] = const.value & U64
+            new_ops.append(Op(name, args))
+            changed += 0
+            continue
+        if name == "mov":
+            dst, src = args
+            if isinstance(src, Const):
+                known[dst] = src.value & U64
+                new_ops.append(Op("movi", (dst, src)))
+                changed += 1
+            else:
+                known.pop(dst, None)
+                if src in known:
+                    known[dst] = known[src]
+                new_ops.append(Op(name, args))
+            continue
+        if name in _ALU_OPS:
+            dst, a, b = args
+            if isinstance(a, Const) and isinstance(b, Const):
+                value = _eval_alu(name, a.value & U64, b.value & U64)
+                if value is not None:
+                    known[dst] = value
+                    new_ops.append(Op("movi", (dst, Const(value))))
+                    changed += 1
+                    continue
+            folded = _identity_fold(name, dst, a, b)
+            if folded is not None:
+                if folded.name == "movi":
+                    known[dst] = folded.args[1].value & U64
+                else:
+                    known.pop(dst, None)
+                new_ops.append(folded)
+                changed += 1
+                continue
+            known.pop(dst, None)
+            new_ops.append(Op(name, args))
+            continue
+        if name in ("neg", "not"):
+            dst, a = args
+            if isinstance(a, Const):
+                value = (-a.value if name == "neg" else ~a.value) & U64
+                known[dst] = value
+                new_ops.append(Op("movi", (dst, Const(value))))
+                changed += 1
+                continue
+            known.pop(dst, None)
+            new_ops.append(Op(name, args))
+            continue
+        if name == "setcond":
+            dst, a, b, cond = args
+            if isinstance(a, Const) and isinstance(b, Const):
+                value = int(_eval_cond(cond, a.value & U64,
+                                       b.value & U64))
+                known[dst] = value
+                new_ops.append(Op("movi", (dst, Const(value))))
+                changed += 1
+                continue
+            known.pop(dst, None)
+            new_ops.append(Op(name, args))
+            continue
+
+        # Everything else: invalidate outputs, keep resolved args.
+        for out in op.outputs():
+            known.pop(out, None)
+        new_ops.append(Op(name, args))
+
+    block.ops = new_ops
+    return changed
+
+
+def _identity_fold(name: str, dst, a, b) -> Op | None:
+    """Algebraic identities, including false-dependency elimination."""
+    a_const = a.value & U64 if isinstance(a, Const) else None
+    b_const = b.value & U64 if isinstance(b, Const) else None
+    if name == "mul" and (a_const == 0 or b_const == 0):
+        return Op("movi", (dst, Const(0)))           # x*0 -> 0
+    if name == "and" and (a_const == 0 or b_const == 0):
+        return Op("movi", (dst, Const(0)))           # x&0 -> 0
+    if name == "mul" and b_const == 1:
+        return Op("mov", (dst, a))
+    if name in ("add", "or", "xor", "shl", "shr", "sar") \
+            and b_const == 0:
+        return Op("mov", (dst, a))
+    if name == "sub" and b_const == 0:
+        return Op("mov", (dst, a))
+    if name in ("add", "or", "xor") and a_const == 0:
+        return Op("mov", (dst, b))
+    return None

@@ -1,0 +1,57 @@
+"""Dead code elimination: drop pure ops whose results are never used.
+
+Backward liveness over the straight-line *prefix* of the block (up to
+the first control-flow op — the jcc tail pattern brcond/goto_tb/
+set_label/goto_tb is left untouched, its inputs seeded as live).
+Guest globals are always live-out: they carry state to the next block.
+Ops with side effects (memory, barriers, calls) are always kept.
+
+Flag materialization no conditional consumes before the next overwrite
+is the main beneficiary — a faithful stand-in for QEMU's lazy flag
+evaluation.
+"""
+
+from __future__ import annotations
+
+from ..ir import ALL_GLOBALS, Op, TCGBlock, Temp
+
+_CONTROL = frozenset({"set_label", "brcond", "br", "exit_tb",
+                      "goto_tb"})
+
+
+def dead_code_elimination(block: TCGBlock) -> int:
+    ops = block.ops
+    first_control = next(
+        (i for i, op in enumerate(ops) if op.name in _CONTROL),
+        len(ops))
+
+    # Live-out: every guest global (state flows to the next block) plus
+    # every input of the control tail.  A global overwritten later in
+    # the straight-line prefix without an intervening read is dead —
+    # which is exactly how stale flag materialization gets removed.
+    live: set[Temp] = set(ALL_GLOBALS)
+    for op in ops[first_control:]:
+        live.update(op.inputs())
+
+    keep = [True] * len(ops)
+    for index in range(first_control - 1, -1, -1):
+        op = ops[index]
+        if op.has_side_effects():
+            for out in op.outputs():
+                live.discard(out)
+            live.update(op.inputs())
+            if op.name == "call":
+                # Helpers may read guest state implicitly (syscall).
+                live.update(ALL_GLOBALS)
+            continue
+        outputs = op.outputs()
+        if not any(out in live for out in outputs):
+            keep[index] = False
+            continue
+        for out in outputs:
+            live.discard(out)
+        live.update(op.inputs())
+
+    removed = keep.count(False)
+    block.ops = [op for op, flag in zip(ops, keep) if flag]
+    return removed

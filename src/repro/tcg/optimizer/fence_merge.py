@@ -1,0 +1,57 @@
+"""Fence merging (Section 6.1).
+
+Adjacent ``mb`` ops with no intervening memory access, call, or control
+flow merge into a single barrier whose mask is the union, placed where
+the *earliest* fence was — exactly the Frm·Fww → Fsc example from the
+paper.  Merging to a same-or-stronger fence is proven correct in
+Section 5.4 (and re-checked by our model checker in
+tests/core/test_transforms.py).
+
+A second rule drops a barrier that is immediately subsumed: if a fence
+whose mask is a subset of a *later* merged fence appears with only pure
+ops between, the union already covers it.
+"""
+
+from __future__ import annotations
+
+from ..ir import Const, Op, TCGBlock
+
+#: Op names a fence may migrate across (pure value computation).
+_TRANSPARENT = frozenset({
+    "mov", "movi", "add", "sub", "and", "or", "xor", "shl", "shr",
+    "sar", "mul", "divu", "remu", "neg", "not", "setcond",
+})
+
+
+def merge_fences_pass(block: TCGBlock) -> int:
+    """Merge barrier ops; returns how many were eliminated."""
+    merged = 0
+    new_ops: list[Op] = []
+    #: Index in new_ops of the last mb with only pure ops after it.
+    open_fence: int | None = None
+
+    for op in block.ops:
+        if op.name == "mb":
+            mask = op.args[0].value
+            if mask == 0:
+                merged += 1
+                continue
+            if open_fence is not None:
+                prev_mask = new_ops[open_fence].args[0].value
+                new_ops[open_fence] = Op(
+                    "mb", (Const(prev_mask | mask),))
+                merged += 1
+            else:
+                open_fence = len(new_ops)
+                new_ops.append(op)
+            continue
+        if op.name in _TRANSPARENT:
+            new_ops.append(op)
+            continue
+        # Memory access, call, label or branch: fences no longer merge
+        # across this point.
+        open_fence = None
+        new_ops.append(op)
+
+    block.ops = new_ops
+    return merged

@@ -1,0 +1,28 @@
+"""Benchmark workloads: PARSEC/Phoenix kernels, library-bound
+applications (OpenSSL, SQLite, libm), and the CAS microbenchmark."""
+
+from .kernels import ARRAY_BASE, KernelSpec, gen_arm_program, gen_x86_program
+from .libs import (
+    SQLITE_DB_BASE,
+    build_libcrypto,
+    build_libm,
+    build_libsqlite,
+    standard_libraries,
+)
+from .runner import (
+    ALL_VARIANTS,
+    NATIVE,
+    WorkloadResult,
+    run_kernel,
+    run_library_workload,
+)
+from .suites import ALL_SPECS, PARSEC_SPECS, PHOENIX_SPECS, SPEC_BY_NAME
+
+__all__ = [
+    "ARRAY_BASE", "KernelSpec", "gen_arm_program", "gen_x86_program",
+    "SQLITE_DB_BASE", "build_libcrypto", "build_libm", "build_libsqlite",
+    "standard_libraries",
+    "ALL_VARIANTS", "NATIVE", "WorkloadResult",
+    "run_kernel", "run_library_workload",
+    "ALL_SPECS", "PARSEC_SPECS", "PHOENIX_SPECS", "SPEC_BY_NAME",
+]

@@ -1,0 +1,194 @@
+"""Workload execution harness: one entry point per benchmark family.
+
+Runs a workload under any DBT variant (``qemu``, ``no-fences``,
+``tcg-ver``, ``risotto``) or natively, on a freshly constructed
+machine, and returns the :class:`~repro.dbt.engine.RunResult` plus the
+workload's reported checksum/count — the raw material every figure
+harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dbt import DBTEngine, NativeRunner, RunResult, VARIANTS
+from ..errors import ReproError
+from ..isa.arm.assembler import assemble as assemble_arm
+from ..loader.gelf import GuestBinary, build_binary
+from ..loader.hostlibs import ARG_REGISTERS, HostLibrary
+from ..loader.linker import HostLinker
+from ..machine.timing import CostModel
+from .kernels import KernelSpec, gen_arm_program, gen_x86_program
+
+NATIVE = "native"
+ALL_VARIANTS: tuple[str, ...] = tuple(VARIANTS) + (NATIVE,)
+
+
+@dataclass
+class WorkloadResult:
+    variant: str
+    result: RunResult
+    checksum: int | None
+
+    @property
+    def cycles(self) -> int:
+        return self.result.elapsed_cycles
+
+
+def _make_engine(variant: str, n_cores: int, seed: int,
+                 costs: CostModel | None):
+    if variant == NATIVE:
+        return NativeRunner(n_cores=n_cores, seed=seed, costs=costs)
+    try:
+        config = VARIANTS[variant]
+    except KeyError:
+        raise ReproError(
+            f"unknown variant {variant!r}; expected one of "
+            f"{ALL_VARIANTS}") from None
+    return DBTEngine(config, n_cores=n_cores, seed=seed, costs=costs)
+
+
+# ----------------------------------------------------------------------
+# Kernel workloads (Figure 12)
+# ----------------------------------------------------------------------
+def run_kernel(spec: KernelSpec, variant: str,
+               seed: int = 7, costs: CostModel | None = None,
+               max_steps: int = 80_000_000) -> WorkloadResult:
+    """Run one PARSEC/Phoenix kernel under a variant (or natively)."""
+    n_cores = spec.threads
+    engine = _make_engine(variant, n_cores, seed, costs)
+    if variant == NATIVE:
+        assembly = assemble_arm(gen_arm_program(spec), base=0x0100_0000
+                                + 0x0F00_0000)
+        engine.load_image(assembly.base, assembly.code)
+        entry = assembly.labels["main"]
+    else:
+        binary = build_binary(gen_x86_program(spec))
+        binary.load_into(engine.machine.memory)
+        entry = binary.entry
+    result = engine.run(entry, max_steps=max_steps)
+    checksum = result.output[0] if result.output else None
+    return WorkloadResult(variant=variant, result=result,
+                          checksum=checksum)
+
+
+# ----------------------------------------------------------------------
+# Library-calling workloads (Figures 13 and 14)
+# ----------------------------------------------------------------------
+def _library_guest_program(function: str, arg_exprs: tuple[int, ...],
+                           calls: int) -> str:
+    """Guest main: call `function@plt` ``calls`` times, accumulate the
+    results, report the final value."""
+    set_args = "\n".join(
+        f"    mov {reg}, {value}"
+        for reg, value in zip(ARG_REGISTERS, arg_exprs)
+    )
+    return f"""
+main:
+    mov r15, {calls}
+    mov r14, 0
+bench_loop:
+{set_args}
+    call {function}
+    xor r14, rax
+    dec r15
+    jne bench_loop
+    mov rdi, r14
+    mov rax, 1
+    syscall
+    mov rdi, 0
+    mov rax, 60
+    syscall
+"""
+
+
+def run_library_workload(function_name: str, args: tuple[int, ...],
+                         calls: int, variant: str,
+                         library: HostLibrary,
+                         setup_memory=None,
+                         seed: int = 7,
+                         costs: CostModel | None = None,
+                         max_steps: int = 80_000_000) -> WorkloadResult:
+    """Benchmark a shared-library function under a variant.
+
+    * DBT variants build a guest binary importing the function; the
+      ``risotto`` variant additionally links the PLT entry to the host
+      library (tcg-ver/qemu translate the guest library body).
+    * ``native`` runs an Arm caller loop invoking the host function
+      directly — no marshaling, the Figure 13/14 reference.
+    """
+    function = library[function_name]
+    engine = _make_engine(variant, 1, seed, costs)
+    memory = engine.machine.memory
+    if setup_memory is not None:
+        setup_memory(memory)
+
+    if variant == NATIVE:
+        trap = engine.runtime.alloc_trap(
+            _native_call_trap(engine.runtime, function))
+        set_args = "\n".join(
+            f"    mov {_native_arg_reg(i)}, #{value}"
+            for i, value in enumerate(args)
+        )
+        source = f"""
+main:
+    mov x21, #{calls}
+    mov x22, #0
+nloop:
+{set_args}
+    movz x6, #{trap}
+    blr x6
+    eor x22, x22, x8
+    sub x21, x21, #1
+    cbnz x21, nloop
+    mov x13, x22
+    mov x8, #1
+    svc #0
+    mov x13, #0
+    mov x8, #60
+    svc #0
+"""
+        assembly = assemble_arm(source, base=0x0F00_0000)
+        engine.load_image(assembly.base, assembly.code)
+        entry = assembly.labels["main"]
+    else:
+        binary = build_binary(
+            _library_guest_program(function_name, args, calls),
+            guest_libs={function_name: function.guest_asm},
+        )
+        binary.load_into(memory)
+        if VARIANTS[variant].use_host_linker:
+            linker = HostLinker(library, library.idl_source())
+            report = linker.link(binary, engine.runtime)
+            if function_name not in report.linked:
+                raise ReproError(
+                    f"{function_name} did not link: {report}")
+        entry = binary.entry
+    result = engine.run(entry, max_steps=max_steps)
+    checksum = result.output[0] if result.output else None
+    return WorkloadResult(variant=variant, result=result,
+                          checksum=checksum)
+
+
+def _native_arg_reg(index: int) -> str:
+    """Native calls use the same registers the guest map assigns to
+    rdi/rsi/rdx/rcx, so one trap convention serves both worlds."""
+    from ..dbt.runtime import _ARM_REG_OF_GUEST
+
+    return _ARM_REG_OF_GUEST[ARG_REGISTERS[index]]
+
+
+def _native_call_trap(runtime, function):
+    from ..dbt.runtime import guest_reg
+
+    n_args = len(function.signature.params)
+
+    def trap(core):
+        args = tuple(
+            guest_reg(core, ARG_REGISTERS[i]) for i in range(n_args))
+        value = function.invoke(runtime.machine.memory, args)
+        core.cycles += function.cost(args) + core.costs.native_call
+        core.set("x8", value)  # result in the rax slot
+        core.pc = core.get("x30")
+
+    return trap

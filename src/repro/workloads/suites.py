@@ -1,0 +1,61 @@
+"""The PARSEC 3.0 and Phoenix benchmark suites as kernel specs.
+
+The per-benchmark instruction mixes are the calibration knob for
+Figure 12: fence sensitivity grows with memory-op density (freqmine is
+the extreme — the paper measures 75% of its run time in fences), the
+tcg-ver gain grows with store share (DMBFF → DMBST), and the native gap
+grows with FP share (QEMU's softfloat emulation).
+
+raytrace and x264 are omitted exactly as in the paper (Section 7.1:
+they fail to build/run natively on Arm).
+"""
+
+from __future__ import annotations
+
+from .kernels import KernelSpec
+
+PARSEC_SPECS: tuple[KernelSpec, ...] = (
+    # fp-heavy pricing kernel; moderate memory traffic
+    KernelSpec("blackscholes", loads=2, stores=1, alu=4, fp=6,
+               suite="parsec"),
+    # vision pipeline: alu-dominated with steady loads
+    KernelSpec("bodytrack", loads=3, stores=1, alu=8, fp=2,
+               suite="parsec"),
+    # cache-aware annealing: pointer-chasing loads
+    KernelSpec("canneal", loads=5, stores=2, alu=5, fp=0,
+               suite="parsec"),
+    KernelSpec("facesim", loads=3, stores=2, alu=6, fp=4,
+               suite="parsec"),
+    KernelSpec("fluidanimate", loads=3, stores=2, alu=5, fp=5,
+               suite="parsec"),
+    # frequent itemset mining: the most memory/fence-bound benchmark
+    KernelSpec("freqmine", loads=6, stores=4, alu=3, fp=0,
+               suite="parsec"),
+    KernelSpec("streamcluster", loads=4, stores=1, alu=5, fp=2,
+               suite="parsec"),
+    KernelSpec("swaptions", loads=2, stores=1, alu=6, fp=4,
+               suite="parsec"),
+    KernelSpec("vips", loads=3, stores=2, alu=7, fp=1,
+               suite="parsec"),
+)
+
+PHOENIX_SPECS: tuple[KernelSpec, ...] = (
+    KernelSpec("histogram", loads=3, stores=2, alu=4, fp=0,
+               suite="phoenix"),
+    KernelSpec("kmeans", loads=3, stores=1, alu=6, fp=2,
+               suite="phoenix"),
+    KernelSpec("linearregression", loads=2, stores=1, alu=5, fp=0,
+               suite="phoenix"),
+    KernelSpec("matrixmultiply", loads=3, stores=1, alu=4, fp=0,
+               suite="phoenix"),
+    KernelSpec("pca", loads=3, stores=1, alu=5, fp=2,
+               suite="phoenix"),
+    KernelSpec("stringmatch", loads=4, stores=0, alu=6, fp=0,
+               suite="phoenix"),
+    KernelSpec("wordcount", loads=4, stores=2, alu=5, fp=0,
+               suite="phoenix"),
+)
+
+ALL_SPECS: tuple[KernelSpec, ...] = PARSEC_SPECS + PHOENIX_SPECS
+
+SPEC_BY_NAME: dict[str, KernelSpec] = {s.name: s for s in ALL_SPECS}

@@ -1,0 +1,91 @@
+"""Analysis-layer tests: table math and report rendering."""
+
+import pytest
+
+from repro.analysis import (
+    BenchRow,
+    BenchTable,
+    figure12_report,
+    figure15_report,
+    mapping_table_report,
+    speedup_report,
+)
+
+
+@pytest.fixture
+def table():
+    t = BenchTable(name="t")
+    for bench, variant, cycles, fences in (
+            ("alpha", "qemu", 1000, 400),
+            ("alpha", "tcg-ver", 900, 300),
+            ("alpha", "no-fences", 500, 0),
+            ("alpha", "native", 100, 0),
+            ("beta", "qemu", 2000, 200),
+            ("beta", "tcg-ver", 1900, 150),
+            ("beta", "no-fences", 1500, 0),
+            ("beta", "native", 300, 0),
+    ):
+        t.add(BenchRow(benchmark=bench, variant=variant,
+                       cycles=cycles, fence_cycles=fences,
+                       total_cycles=cycles, checksum=7))
+    return t
+
+
+class TestBenchTable:
+    def test_relative_and_speedup(self, table):
+        assert table.relative_runtime("alpha", "tcg-ver") == 0.9
+        assert table.speedup("alpha", "native") == 10.0
+
+    def test_gains(self, table):
+        assert table.gain("alpha", "tcg-ver") == pytest.approx(0.1)
+        assert table.average_gain("tcg-ver") == pytest.approx(
+            (0.1 + 0.05) / 2)
+        assert table.max_gain("tcg-ver") == pytest.approx(0.1)
+
+    def test_fence_share(self, table):
+        assert table.rows[("alpha", "qemu")].fence_share == 0.4
+        bench, share = table.max_fence_share("qemu")
+        assert bench == "alpha" and share == 0.4
+        assert table.average_fence_share("qemu") == pytest.approx(0.25)
+
+    def test_benchmarks_and_variants_preserve_order(self, table):
+        assert table.benchmarks() == ["alpha", "beta"]
+        assert table.variants()[0] == "qemu"
+
+    def test_checksum_consistency(self, table):
+        assert table.checksums_consistent("alpha")
+        table.add(BenchRow(benchmark="alpha", variant="broken",
+                           cycles=1, checksum=9))
+        assert not table.checksums_consistent("alpha")
+
+    def test_zero_total_cycles_fence_share(self):
+        row = BenchRow(benchmark="x", variant="v", cycles=10)
+        assert row.fence_share == 0.0
+
+
+class TestReports:
+    def test_figure12_report_contents(self, table):
+        text = figure12_report(table)
+        assert "alpha" in text and "beta" in text
+        assert "paper: 6.7%" in text
+        assert "freqmine" in text  # the paper reference line
+
+    def test_speedup_report(self, table):
+        text = speedup_report(table, "title",
+                              variants=("tcg-ver", "native"))
+        assert "title" in text
+        assert "10.00x" in text
+
+    def test_figure15_report(self):
+        series = {
+            "qemu": [("1-1", 10e6), ("4-1", 5e6)],
+            "risotto": [("1-1", 15e6), ("4-1", 5.2e6)],
+        }
+        text = figure15_report(series)
+        assert "1-1" in text and "paper: 48%" in text
+
+    def test_mapping_tables_mention_all_figures(self):
+        text = mapping_table_report()
+        for needle in ("Figure 2", "Figure 3", "Figure 7",
+                       "DMBST; STR", "RMW1_AL"):
+            assert needle in text

@@ -1,0 +1,119 @@
+"""Program AST validation + litmus annotation sanity.
+
+The annotation check is itself a meaningful reproduction artefact: every
+"forbidden" outcome in the library must indeed be forbidden by the
+source model, otherwise the corpus could not catch translation bugs.
+"""
+
+import pytest
+
+from repro.core import ARM, SC, TCG, X86, Arch, Fence
+from repro.core import litmus_library as L
+from repro.core.litmus_library import R, W, outcome, shows, x86
+from repro.core.program import FenceOp, If, Load, Program, Store
+from repro.core.verifier import check_annotations
+from repro.errors import LitmusError
+
+
+class TestProgramValidation:
+    def test_undefined_register_store_rejected(self):
+        with pytest.raises(LitmusError):
+            x86("bad", (Store("X", "a"),))
+
+    def test_undefined_branch_register_rejected(self):
+        with pytest.raises(LitmusError):
+            x86("bad", (If("a", 1, then_ops=(W("X", 1),)),))
+
+    def test_register_defined_in_one_arm_only_not_visible_after(self):
+        with pytest.raises(LitmusError):
+            x86("bad", (
+                R("a", "X"),
+                If("a", 1, then_ops=(R("b", "Y"),)),
+                Store("Z", "b"),
+            ))
+
+    def test_register_defined_in_both_arms_visible_after(self):
+        prog = x86("ok", (
+            R("a", "X"),
+            If("a", 1, then_ops=(R("b", "Y"),), else_ops=(R("b", "Z"),)),
+            Store("W", "b"),
+        ))
+        assert prog.locations() == {"X", "Y", "Z", "W"}
+
+    def test_locations_include_init_and_branches(self):
+        prog = Program(
+            "p", Arch.X86,
+            ((R("a", "X"), If("a", 1, then_ops=(W("Y", 1),))),),
+            init=(("Z", 3),),
+        )
+        assert prog.locations() == {"X", "Y", "Z"}
+        assert prog.init_value("Z") == 3
+        assert prog.init_value("X") == 0
+
+    def test_pretty_mentions_threads(self):
+        text = L.MP.program.pretty()
+        assert "T0" in text and "T1" in text and "MP" in text
+
+    def test_programs_hashable_and_equal(self):
+        a = x86("p", (W("X", 1),))
+        b = x86("p", (W("X", 1),))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestOutcomeHelpers:
+    def test_outcome_key_translation(self):
+        out = outcome(T0_a=1, X=2)
+        assert ("T0:a", 1) in out and ("X", 2) in out
+
+    def test_shows_subset_semantics(self):
+        behs = frozenset({frozenset({("X", 1), ("Y", 2)})})
+        assert shows(behs, outcome(X=1))
+        assert not shows(behs, outcome(X=2))
+
+
+class TestAnnotations:
+    """Every library annotation must hold in the x86/TCG source model."""
+
+    @pytest.mark.parametrize(
+        "test", L.X86_CORPUS, ids=[t.name for t in L.X86_CORPUS])
+    def test_x86_annotations_hold(self, test):
+        assert check_annotations(test, X86) == []
+
+    @pytest.mark.parametrize(
+        "test", L.TCG_CORPUS, ids=[t.name for t in L.TCG_CORPUS])
+    def test_tcg_annotations_hold(self, test):
+        assert check_annotations(test, TCG) == []
+
+    def test_corpus_has_rmw_coverage(self):
+        rmw_tests = [
+            t for t in L.X86_CORPUS
+            if any("RMW" in str(op) for ops in t.program.threads
+                   for op in ops)
+        ]
+        assert len(rmw_tests) >= 5
+
+    def test_corpus_has_fence_coverage(self):
+        fence_tests = [
+            t for t in L.X86_CORPUS
+            if any(isinstance(op, FenceOp) for ops in t.program.threads
+                   for op in ops)
+        ]
+        assert len(fence_tests) >= 4
+
+    def test_annotation_checker_catches_bad_forbidden(self):
+        from repro.core.litmus_library import LitmusTest
+
+        bad = LitmusTest(
+            program=L.SB.program,
+            forbidden=(outcome(T0_a=0, T1_b=0),),  # actually allowed
+        )
+        assert check_annotations(bad, X86)
+
+    def test_annotation_checker_catches_bad_allowed(self):
+        from repro.core.litmus_library import LitmusTest
+
+        bad = LitmusTest(
+            program=L.MP.program,
+            allowed=(outcome(T1_a=1, T1_b=0),),  # actually forbidden
+        )
+        assert check_annotations(bad, X86)

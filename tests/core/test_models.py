@@ -1,0 +1,256 @@
+"""Model-level tests: x86-TSO, Arm-Cats (both variants), TCG IR.
+
+Each test pins an allowed/forbidden verdict the literature (and the
+paper) documents for a classic litmus shape at that level.
+"""
+
+import pytest
+
+from repro.core import (
+    ARM,
+    ARM_ORIGINAL,
+    SC,
+    TCG,
+    X86,
+    Arch,
+    Fence,
+    Mode,
+    Program,
+    RmwFlavor,
+)
+from repro.core.enumerate import behaviors, enumerate_executions
+from repro.core.litmus_library import (
+    CAS,
+    MFENCE,
+    R,
+    W,
+    outcome,
+    shows,
+    tcg,
+    x86,
+)
+from repro.core.program import FenceOp, If, Load, Rmw, Store
+
+
+def arm(name, *threads):
+    return Program(name=name, arch=Arch.ARM, threads=tuple(threads))
+
+
+def dmb(kind):
+    return FenceOp(kind)
+
+
+WEAK_MP = outcome(T1_a=1, T1_b=0)
+WEAK_SB = outcome(T0_a=0, T1_b=0)
+WEAK_LB = outcome(T0_a=1, T1_b=1)
+
+
+class TestX86:
+    def test_mp_forbidden(self):
+        prog = x86("mp", (W("X", 1), W("Y", 1)),
+                   (R("a", "Y"), R("b", "X")))
+        assert not shows(behaviors(prog, X86), WEAK_MP)
+
+    def test_sb_allowed(self):
+        prog = x86("sb", (W("X", 1), R("a", "Y")),
+                   (W("Y", 1), R("b", "X")))
+        assert shows(behaviors(prog, X86), WEAK_SB)
+
+    def test_sb_mfence_forbidden(self):
+        prog = x86("sbf", (W("X", 1), MFENCE(), R("a", "Y")),
+                   (W("Y", 1), MFENCE(), R("b", "X")))
+        assert not shows(behaviors(prog, X86), WEAK_SB)
+
+    def test_lb_forbidden(self):
+        prog = x86("lb", (R("a", "X"), W("Y", 1)),
+                   (R("b", "Y"), W("X", 1)))
+        assert not shows(behaviors(prog, X86), WEAK_LB)
+
+    def test_rmw_acts_as_full_fence(self):
+        prog = x86("sb-rmw",
+                   (W("X", 1), CAS("Z", 0, 1), R("a", "Y")),
+                   (W("Y", 1), CAS("U", 0, 1), R("b", "X")))
+        assert not shows(behaviors(prog, X86), WEAK_SB)
+
+    def test_failed_rmw_is_just_a_read(self):
+        # RMW(X, 5, 9) never succeeds (X in {0,1}); the read event alone
+        # is still generated.
+        prog = x86("failrmw", (W("X", 1),),
+                   (Rmw("X", 5, 9, RmwFlavor.X86, out="a"),))
+        behs = behaviors(prog, X86)
+        assert shows(behs, outcome(X=1))
+        assert not shows(behs, outcome(X=9))
+
+
+class TestArm:
+    def test_mp_plain_allowed(self):
+        prog = arm("mp", (W("X", 1), W("Y", 1)),
+                   (R("a", "Y"), R("b", "X")))
+        assert shows(behaviors(prog, ARM), WEAK_MP)
+
+    def test_mp_dmbst_dmbld_forbidden(self):
+        prog = arm(
+            "mp+dmbs",
+            (W("X", 1), dmb(Fence.DMBST), W("Y", 1)),
+            (R("a", "Y"), dmb(Fence.DMBLD), R("b", "X")),
+        )
+        assert not shows(behaviors(prog, ARM), WEAK_MP)
+
+    def test_mp_dmbst_only_still_weak(self):
+        # The reader can reorder its loads without a DMBLD.
+        prog = arm(
+            "mp+st-only",
+            (W("X", 1), dmb(Fence.DMBST), W("Y", 1)),
+            (R("a", "Y"), R("b", "X")),
+        )
+        assert shows(behaviors(prog, ARM), WEAK_MP)
+
+    def test_mp_release_acquire_forbidden(self):
+        prog = arm(
+            "mp+rel-acq",
+            (W("X", 1), Store("Y", 1, mode=Mode.REL)),
+            (Load("a", "Y", mode=Mode.ACQ), R("b", "X")),
+        )
+        assert not shows(behaviors(prog, ARM), WEAK_MP)
+
+    def test_sb_needs_full_fence(self):
+        weak = WEAK_SB
+        plain = arm("sb", (W("X", 1), R("a", "Y")),
+                    (W("Y", 1), R("b", "X")))
+        fenced = arm("sb+ff",
+                     (W("X", 1), dmb(Fence.DMBFF), R("a", "Y")),
+                     (W("Y", 1), dmb(Fence.DMBFF), R("b", "X")))
+        assert shows(behaviors(plain, ARM), weak)
+        assert not shows(behaviors(fenced, ARM), weak)
+
+    def test_dmbld_does_not_order_store_load(self):
+        prog = arm("sb+ld",
+                   (W("X", 1), dmb(Fence.DMBLD), R("a", "Y")),
+                   (W("Y", 1), dmb(Fence.DMBLD), R("b", "X")))
+        assert shows(behaviors(prog, ARM), WEAK_SB)
+
+    def test_data_dependency_orders_read_to_write(self):
+        # S+data: the dependent write cannot overtake the read (dob),
+        # so seeing Y=1 and finishing with X=2 is forbidden.
+        prog = arm("s+data",
+                   (W("X", 2), dmb(Fence.DMBST), W("Y", 1)),
+                   (R("a", "Y"), Store("X", "a")))
+        assert not shows(behaviors(prog, ARM), outcome(T1_a=1, X=2))
+
+    def test_plain_lb_allowed(self):
+        prog = arm("lb", (R("a", "X"), W("Y", 1)),
+                   (R("b", "Y"), W("X", 1)))
+        assert shows(behaviors(prog, ARM), WEAK_LB)
+
+    def test_ctrl_dependency_orders_read_to_write(self):
+        prog = arm(
+            "lb+ctrl",
+            (R("a", "X"), If("a", 1, then_ops=(W("Y", 1),))),
+            (R("b", "Y"), If("b", 1, then_ops=(W("X", 1),))),
+        )
+        assert not shows(behaviors(prog, ARM), outcome(T0_a=1, T1_b=1))
+
+
+class TestArmAmoCorrection:
+    """The Section 3.3 fix: casal must act as a full barrier."""
+
+    def _sbal_arm(self):
+        return arm(
+            "sbal-arm",
+            (Rmw("X", 0, 1, RmwFlavor.AMO, acq=True, rel=True),
+             Load("a", "Y", mode=Mode.ACQ_PC)),
+            (Rmw("Y", 0, 1, RmwFlavor.AMO, acq=True, rel=True),
+             Load("b", "X", mode=Mode.ACQ_PC)),
+        )
+
+    def test_original_model_allows_sbal(self):
+        weak = outcome(X=1, Y=1, T0_a=0, T1_b=0)
+        assert shows(behaviors(self._sbal_arm(), ARM_ORIGINAL), weak)
+
+    def test_corrected_model_forbids_sbal(self):
+        weak = outcome(X=1, Y=1, T0_a=0, T1_b=0)
+        assert not shows(behaviors(self._sbal_arm(), ARM), weak)
+
+    def test_lxsx_pair_is_not_a_full_barrier(self):
+        # Even acquire/release exclusives leave the store->load pair
+        # unordered (the SBQ root cause).
+        prog = arm(
+            "sbal-lxsx",
+            (Rmw("X", 0, 1, RmwFlavor.LXSX, acq=True, rel=True),
+             R("a", "Y")),
+            (Rmw("Y", 0, 1, RmwFlavor.LXSX, acq=True, rel=True),
+             R("b", "X")),
+        )
+        weak = outcome(X=1, Y=1, T0_a=0, T1_b=0)
+        assert shows(behaviors(prog, ARM), weak)
+
+
+class TestTCG:
+    def test_plain_accesses_unordered(self):
+        prog = tcg("mp", (W("X", 1), W("Y", 1)),
+                   (R("a", "Y"), R("b", "X")))
+        assert shows(behaviors(prog, TCG), WEAK_MP)
+
+    def test_fww_frr_forbid_mp(self):
+        prog = tcg(
+            "mp-ir",
+            (W("X", 1), FenceOp(Fence.FWW), W("Y", 1)),
+            (R("a", "Y"), FenceOp(Fence.FRR), R("b", "X")),
+        )
+        assert not shows(behaviors(prog, TCG), WEAK_MP)
+
+    def test_frw_forbids_lb(self):
+        prog = tcg(
+            "lb-ir",
+            (R("a", "X"), FenceOp(Fence.FRW), W("Y", 1)),
+            (R("b", "Y"), FenceOp(Fence.FRW), W("X", 1)),
+        )
+        assert not shows(behaviors(prog, TCG), WEAK_LB)
+
+    def test_fsc_forbids_sb(self):
+        prog = tcg(
+            "sb-ir",
+            (W("X", 1), FenceOp(Fence.FSC), R("a", "Y")),
+            (W("Y", 1), FenceOp(Fence.FSC), R("b", "X")),
+        )
+        assert not shows(behaviors(prog, TCG), WEAK_SB)
+
+    def test_fww_does_not_forbid_sb(self):
+        prog = tcg(
+            "sb-ir-ww",
+            (W("X", 1), FenceOp(Fence.FWW), R("a", "Y")),
+            (W("Y", 1), FenceOp(Fence.FWW), R("b", "X")),
+        )
+        assert shows(behaviors(prog, TCG), WEAK_SB)
+
+    def test_tcg_rmw_is_sc(self):
+        prog = tcg(
+            "sb-rmw-ir",
+            (W("X", 1), Rmw("Z", 0, 1, RmwFlavor.TCG), R("a", "Y")),
+            (W("Y", 1), Rmw("U", 0, 1, RmwFlavor.TCG), R("b", "X")),
+        )
+        assert not shows(behaviors(prog, TCG), WEAK_SB)
+
+    def test_dependencies_do_not_order(self):
+        # Unlike Arm: the same S+data shape stays weak in TCG IR (no
+        # dob), which is what licenses false-dependency elimination.
+        prog = tcg("s+data-ir",
+                   (W("X", 2), FenceOp(Fence.FWW), W("Y", 1)),
+                   (R("a", "Y"), Store("X", "a")))
+        assert shows(behaviors(prog, TCG), outcome(T1_a=1, X=2))
+
+
+class TestStrengthOrdering:
+    """SC ⊆ x86 ⊆ (Arm, TCG) on every corpus program."""
+
+    @pytest.mark.parametrize("weak_arch_model", [ARM, TCG, X86])
+    def test_sc_behaviors_included(self, weak_arch_model):
+        from repro.core.litmus_library import X86_CORPUS
+
+        for test in X86_CORPUS[:8]:
+            prog = test.program
+            sc_behs = behaviors(prog, SC)
+            weak_behs = behaviors(
+                prog.with_arch(prog.arch, suffix=""), weak_arch_model
+            )
+            assert sc_behs <= weak_behs, test.name

@@ -1,0 +1,183 @@
+"""Reproduction of every correctness finding reported in the paper.
+
+* Section 3.2 — QEMU translation errors (MPQ with RMW1_AL, SBQ with
+  RMW2_AL, FMR's RAW transformation under Fmr).
+* Section 3.3 — the intended Arm-Cats mapping is broken (SBAL) under
+  the original Arm model and fixed by the strengthened bob.
+* Section 5.4 — Risotto's mappings are correct over the whole corpus,
+  and minimal (Figures 8 and 9).
+"""
+
+import pytest
+
+from repro.core import ARM, ARM_ORIGINAL, TCG, X86, Fence
+from repro.core import litmus_library as L
+from repro.core import mappings as M
+from repro.core.transforms import eliminate_raw
+from repro.core.verifier import (
+    ablate,
+    check_corpus,
+    check_mapping,
+    check_translation,
+    drop_fences,
+    drop_rmw_fence,
+)
+
+
+class TestQemuBugs:
+    """Section 3.2."""
+
+    def test_mpq_broken_with_rmw1al_helper(self):
+        verdict = check_mapping(L.MPQ, M.qemu_x86_to_arm_gcc10, X86, ARM)
+        assert not verdict.ok
+        assert frozenset({("T1:a", 1), ("X", 1)}) in verdict.violated_outcomes
+
+    def test_mpq_broken_with_rmw2al_helper_too(self):
+        verdict = check_mapping(L.MPQ, M.qemu_x86_to_arm_gcc9, X86, ARM)
+        assert not verdict.ok
+
+    def test_sbq_broken_with_rmw2al_helper(self):
+        verdict = check_mapping(L.SBQ, M.qemu_x86_to_arm_gcc9, X86, ARM)
+        assert not verdict.ok
+        assert verdict.violated_outcomes
+
+    def test_sbq_pattern_gone_with_risotto_rmw2(self):
+        verdict = check_mapping(L.SBQ, M.risotto_x86_to_arm_rmw2, X86, ARM)
+        assert verdict.ok
+
+    def test_fmr_raw_elimination_incorrect(self):
+        transformed = eliminate_raw(L.FMR_SOURCE, 0, 2)
+        verdict = check_translation(
+            L.FMR_SOURCE, transformed, TCG, TCG, mapping_name="raw-elim"
+        )
+        assert not verdict.ok
+
+    def test_fmr_outcome_is_the_new_behavior(self):
+        from repro.core.enumerate import behaviors
+        from repro.core.litmus_library import FMR_OUTCOME, shows
+
+        transformed = eliminate_raw(L.FMR_SOURCE, 0, 2)
+        assert not shows(behaviors(L.FMR_SOURCE, TCG), FMR_OUTCOME)
+        assert shows(behaviors(transformed, TCG), FMR_OUTCOME)
+
+    def test_risotto_mapping_emits_no_fmr_or_fwr(self):
+        """Section 4.1: avoiding Fmr/Fwr keeps RAW transforms correct."""
+        for test in L.X86_CORPUS:
+            mapped = M.risotto_x86_to_tcg.apply(test.program)
+
+            def fences(ops):
+                for op in ops:
+                    if hasattr(op, "kind"):
+                        yield op.kind
+                    if hasattr(op, "then_ops"):
+                        yield from fences(op.then_ops)
+                        yield from fences(op.else_ops)
+
+            for ops in mapped.threads:
+                assert Fence.FMR not in set(fences(ops))
+                assert Fence.FWR not in set(fences(ops))
+
+
+class TestArmCatsBug:
+    """Section 3.3."""
+
+    def test_sbal_breaks_intended_mapping_on_original_model(self):
+        verdict = check_mapping(
+            L.SBAL, M.armcats_intended, X86, ARM_ORIGINAL)
+        assert not verdict.ok
+
+    def test_sbal_fixed_by_corrected_model(self):
+        verdict = check_mapping(L.SBAL, M.armcats_intended, X86, ARM)
+        assert verdict.ok
+
+    def test_intended_mapping_correct_on_corpus_after_fix(self):
+        report = check_corpus(L.X86_CORPUS, M.armcats_intended, X86, ARM)
+        assert report.ok, str(report)
+
+
+class TestRisottoCorrectness:
+    """Theorem 1 over the corpus — the stand-in for the Agda proofs."""
+
+    def test_x86_to_tcg_mapping_correct(self):
+        report = check_corpus(L.X86_CORPUS, M.risotto_x86_to_tcg, X86, TCG)
+        assert report.ok, str(report)
+
+    @pytest.mark.parametrize("mapping", [
+        M.risotto_x86_to_arm_rmw1,
+        M.risotto_x86_to_arm_rmw2,
+    ], ids=["rmw1al", "rmw2ff"])
+    def test_x86_to_arm_end_to_end_correct(self, mapping):
+        report = check_corpus(L.X86_CORPUS, mapping, X86, ARM)
+        assert report.ok, str(report)
+
+    def test_tcg_to_arm_mapping_correct_on_mapped_corpus(self):
+        for test in L.X86_CORPUS:
+            tcg_prog = M.risotto_x86_to_tcg.apply(test.program)
+            arm_prog = M.risotto_tcg_to_arm_rmw1.apply(tcg_prog)
+            verdict = check_translation(
+                tcg_prog, arm_prog, TCG, ARM,
+                mapping_name="tcg-to-arm",
+            )
+            assert verdict.ok, test.name
+
+    def test_qemu_scheme_correct_apart_from_rmw(self):
+        """QEMU's over-strong fences are correct on RMW-free tests."""
+        rmw_free = [t for t in L.X86_CORPUS
+                    if t.name in ("MP", "SB", "SB+mfences", "LB",
+                                  "MP+mfences", "S", "R", "2+2W",
+                                  "IRIW+mfences", "CoRR")]
+        report = check_corpus(
+            tuple(rmw_free), M.qemu_x86_to_arm_gcc10, X86, ARM)
+        assert report.ok, str(report)
+
+    def test_nofences_breaks_mp(self):
+        verdict = check_mapping(L.MP, M.nofences_x86_to_arm, X86, ARM)
+        assert not verdict.ok
+
+
+class TestMinimality:
+    """Section 5.4 / Figures 8 and 9: every fence is necessary."""
+
+    def test_trailing_frm_necessary(self):
+        weakened = drop_fences(
+            M.risotto_x86_to_tcg, frozenset({Fence.FRM}), "frm")
+        result = ablate(L.X86_CORPUS, weakened, X86, TCG, "drop Frm")
+        assert result.fence_was_necessary
+        assert "MP" in result.broken_tests or "LB" in result.broken_tests
+
+    def test_leading_fww_necessary(self):
+        weakened = drop_fences(
+            M.risotto_x86_to_tcg, frozenset({Fence.FWW}), "fww")
+        result = ablate(L.X86_CORPUS, weakened, X86, TCG, "drop Fww")
+        assert result.fence_was_necessary
+        assert "MP" in result.broken_tests
+
+    def test_rmw2_leading_dmbff_necessary(self):
+        weakened = drop_rmw_fence(
+            M.risotto_tcg_to_arm_rmw2, leading=True, suffix="lead-ff")
+        end_to_end = M.risotto_x86_to_tcg.then(weakened)
+        result = ablate(L.X86_CORPUS, end_to_end, X86, ARM, "drop lead FF")
+        assert result.fence_was_necessary
+
+    def test_rmw2_trailing_dmbff_necessary(self):
+        weakened = drop_rmw_fence(
+            M.risotto_tcg_to_arm_rmw2, leading=False, suffix="trail-ff")
+        end_to_end = M.risotto_x86_to_tcg.then(weakened)
+        result = ablate(L.X86_CORPUS, end_to_end, X86, ARM,
+                        "drop trail FF")
+        assert result.fence_was_necessary
+        assert "SBQ" in result.broken_tests or "SBAL" in result.broken_tests
+
+    def test_figure8_lb_ir_needs_frw(self):
+        from repro.core.enumerate import behaviors
+        from repro.core.litmus_library import outcome, shows
+
+        assert not shows(
+            behaviors(L.LB_IR.program, TCG), outcome(T0_a=1, T1_b=1))
+
+    def test_figure8_mp_ir_forbidden(self):
+        from repro.core.enumerate import behaviors
+        from repro.core.litmus_library import outcome, shows
+
+        assert not shows(
+            behaviors(L.MP_IR.program, TCG), outcome(T0_a=1, T0_b=0))

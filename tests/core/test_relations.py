@@ -1,0 +1,124 @@
+"""Unit and property tests for the relational algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relations import Rel, total_order_extensions, union
+
+pairs_strategy = st.frozensets(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20
+)
+rel_strategy = pairs_strategy.map(Rel)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert not Rel.empty()
+        assert len(Rel.empty()) == 0
+        assert Rel.empty().is_acyclic()
+
+    def test_identity(self):
+        ident = Rel.identity([1, 2])
+        assert (1, 1) in ident and (2, 2) in ident
+        assert len(ident) == 2
+        assert not ident.is_irreflexive()
+
+    def test_cross(self):
+        rel = Rel.cross([1, 2], [3])
+        assert rel == Rel([(1, 3), (2, 3)])
+
+    def test_union_intersection_difference(self):
+        a, b = Rel([(1, 2), (2, 3)]), Rel([(2, 3), (3, 4)])
+        assert a | b == Rel([(1, 2), (2, 3), (3, 4)])
+        assert a & b == Rel([(2, 3)])
+        assert a - b == Rel([(1, 2)])
+
+    def test_composition(self):
+        a, b = Rel([(1, 2), (2, 3)]), Rel([(2, 5), (3, 6)])
+        assert a @ b == Rel([(1, 5), (2, 6)])
+
+    def test_composition_through_identity(self):
+        a = Rel([(1, 2), (2, 3)])
+        ident = Rel.identity([2])
+        # [A] acts as a filter on the codomain/domain.
+        assert a @ ident == Rel([(1, 2)])
+        assert ident @ a == Rel([(2, 3)])
+
+    def test_inverse(self):
+        assert Rel([(1, 2)]).inv() == Rel([(2, 1)])
+
+    def test_plus(self):
+        rel = Rel([(1, 2), (2, 3), (3, 4)])
+        closed = rel.plus()
+        assert (1, 4) in closed and (1, 3) in closed and (2, 4) in closed
+
+    def test_domain_codomain(self):
+        rel = Rel([(1, 2), (1, 3)])
+        assert rel.domain() == {1}
+        assert rel.codomain() == {2, 3}
+
+    def test_restrict(self):
+        rel = Rel([(1, 2), (3, 4)])
+        assert rel.restrict(domain=[1]) == Rel([(1, 2)])
+        assert rel.restrict(codomain=[4]) == Rel([(3, 4)])
+
+    def test_acyclicity(self):
+        assert Rel([(1, 2), (2, 3)]).is_acyclic()
+        assert not Rel([(1, 2), (2, 1)]).is_acyclic()
+        assert not Rel([(1, 1)]).is_acyclic()
+        # Long cycle.
+        assert not Rel([(1, 2), (2, 3), (3, 4), (4, 1)]).is_acyclic()
+
+    def test_total_on(self):
+        assert Rel([(1, 2), (2, 3), (1, 3)]).is_total_on([1, 2, 3])
+        assert not Rel([(1, 2)]).is_total_on([1, 2, 3])
+
+    def test_union_helper(self):
+        assert union([Rel([(1, 2)]), Rel([(3, 4)])]) == \
+            Rel([(1, 2), (3, 4)])
+
+    def test_total_order_extensions(self):
+        orders = list(total_order_extensions([1, 2, 3], first=1))
+        assert len(orders) == 2
+        for order in orders:
+            assert (1, 2) in order and (1, 3) in order
+
+    def test_repr_contains_pairs(self):
+        assert "1->2" in repr(Rel([(1, 2)]))
+
+
+class TestProperties:
+    @given(rel_strategy, rel_strategy)
+    def test_union_commutes(self, a, b):
+        assert a | b == b | a
+
+    @given(rel_strategy, rel_strategy, rel_strategy)
+    def test_composition_associates(self, a, b, c):
+        assert (a @ b) @ c == a @ (b @ c)
+
+    @given(rel_strategy)
+    def test_double_inverse(self, a):
+        assert a.inv().inv() == a
+
+    @given(rel_strategy)
+    def test_plus_idempotent(self, a):
+        assert a.plus().plus() == a.plus()
+
+    @given(rel_strategy)
+    def test_plus_contains_original(self, a):
+        assert a.pairs <= a.plus().pairs
+
+    @given(rel_strategy)
+    def test_acyclic_iff_plus_irreflexive(self, a):
+        assert a.is_acyclic() == a.plus().is_irreflexive()
+
+    @given(rel_strategy, rel_strategy)
+    def test_composition_distributes_over_union(self, a, b):
+        c = Rel([(0, 1), (1, 2), (5, 3)])
+        assert (a | b) @ c == (a @ c) | (b @ c)
+
+    @given(rel_strategy)
+    def test_inverse_of_composition(self, a):
+        b = Rel([(2, 7), (3, 1)])
+        assert (a @ b).inv() == b.inv() @ a.inv()

@@ -1,0 +1,113 @@
+"""Encoding machinery: round-trips and error paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError, DecodeError
+from repro.isa.common import (
+    Imm,
+    Insn,
+    InsnCoder,
+    Label,
+    Mem,
+    Reg,
+    to_signed,
+    to_unsigned,
+)
+
+CODER = InsnCoder(
+    "test", {"foo": 0x01, "bar": 0x02}, {"r0": 0, "r1": 1},
+    allow_lock=True)
+
+
+class TestCoderBasics:
+    def test_no_operand_roundtrip(self):
+        insn = Insn("foo")
+        decoded, size = CODER.decode(CODER.encode(insn))
+        assert decoded == insn and size == 2
+
+    def test_reg_imm_mem_roundtrip(self):
+        insn = Insn("bar", (Reg("r0"), Imm(-5),
+                            Mem(base="r1", offset=-16, index="r0",
+                                scale=8)))
+        data = CODER.encode(insn)
+        decoded, size = CODER.decode(data)
+        assert decoded == insn and size == len(data)
+
+    def test_lock_prefix_roundtrip(self):
+        insn = Insn("foo", (Reg("r1"),), lock=True)
+        decoded, _ = CODER.decode(CODER.encode(insn))
+        assert decoded.lock
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            CODER.encode(Insn("baz"))
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(AssemblerError):
+            CODER.encode(Insn("foo", (Reg("r9"),)))
+
+    def test_unresolved_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            CODER.encode(Insn("foo", (Label("x"),)))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(AssemblerError):
+            CODER.encode(Insn("foo", (Mem(base="r0", scale=3),)))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(DecodeError):
+            CODER.decode(bytes([0x77, 0]))
+
+    def test_decode_past_end_rejected(self):
+        with pytest.raises(DecodeError):
+            CODER.decode(b"", 0)
+
+    def test_lock_without_support_rejected(self):
+        plain = InsnCoder("plain", {"foo": 1}, {"r0": 0})
+        with pytest.raises(AssemblerError):
+            plain.encode(Insn("foo", lock=True))
+
+    def test_duplicate_opcode_table_rejected(self):
+        with pytest.raises(AssemblerError):
+            InsnCoder("dup", {"a": 1, "b": 1}, {"r0": 0})
+
+    def test_disassemble_stream(self):
+        stream = CODER.encode(Insn("foo")) + CODER.encode(
+            Insn("bar", (Imm(3),)))
+        insns = CODER.disassemble(stream)
+        assert [i.mnemonic for i in insns] == ["foo", "bar"]
+
+
+class TestSignHelpers:
+    @given(st.integers(0, 2**64 - 1))
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    def test_signed_interpretation(self):
+        assert to_signed(2**64 - 1) == -1
+        assert to_signed(2**63) == -(2**63)
+        assert to_signed(5) == 5
+
+
+imm_strategy = st.integers(-(2**63), 2**63 - 1).map(Imm)
+reg_strategy = st.sampled_from(["r0", "r1"]).map(Reg)
+mem_strategy = st.builds(
+    Mem,
+    base=st.sampled_from(["r0", "r1", None]),
+    offset=st.integers(-(2**31), 2**31 - 1),
+    index=st.sampled_from(["r0", None]),
+    scale=st.sampled_from([1, 2, 4, 8]),
+)
+operand_strategy = st.one_of(imm_strategy, reg_strategy, mem_strategy)
+
+
+class TestRoundtripProperty:
+    @given(st.lists(operand_strategy, max_size=4), st.booleans())
+    @settings(max_examples=200)
+    def test_any_insn_roundtrips(self, operands, lock):
+        insn = Insn("bar", tuple(operands), lock=lock)
+        decoded, size = CODER.decode(CODER.encode(insn))
+        assert decoded == insn
+        assert size == len(CODER.encode(insn))

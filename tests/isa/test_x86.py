@@ -1,0 +1,310 @@
+"""x86 assembler + reference interpreter tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError, GuestFault
+from repro.isa.common import Imm, Insn, Mem, Reg
+from repro.isa.x86 import (
+    CODER,
+    CpuState,
+    X86Interpreter,
+    assemble,
+    bits_to_double,
+    double_to_bits,
+    evaluate_condition,
+    parse_operand,
+)
+
+
+class DictMemory:
+    """Minimal memory for interpreter tests."""
+
+    def __init__(self, code=b"", base=0x1000):
+        self.words = {}
+        self.code = code
+        self.base = base
+
+    def load_word(self, addr):
+        return self.words.get(addr, 0)
+
+    def store_word(self, addr, value):
+        self.words[addr] = value & ((1 << 64) - 1)
+
+    def read_bytes(self, addr, count):
+        off = addr - self.base
+        return self.code[off:off + count]
+
+
+def run(source, regs=None, mem=None, max_steps=100_000):
+    asm = assemble(source, base=0x1000)
+    memory = DictMemory(asm.code)
+    if mem:
+        memory.words.update(mem)
+    state = CpuState()
+    state.rip = 0x1000
+    state.regs["rsp"] = 0x7FFF0
+    if regs:
+        state.regs.update(regs)
+    X86Interpreter(memory).run(state, max_steps=max_steps)
+    return state, memory
+
+
+class TestAssembler:
+    def test_operand_parsing(self):
+        assert parse_operand("rax") == Reg("rax")
+        assert parse_operand("42") == Imm(42)
+        assert parse_operand("-0x10") == Imm(-16)
+        assert parse_operand("[rbx]") == Mem(base="rbx")
+        assert parse_operand("[rbx + 8]") == Mem(base="rbx", offset=8)
+        assert parse_operand("[rbx - 8]") == Mem(base="rbx", offset=-8)
+        assert parse_operand("[rbx + rcx*8 + 16]") == \
+            Mem(base="rbx", offset=16, index="rcx", scale=8)
+
+    def test_label_resolution(self):
+        asm = assemble("start:\n  jmp start")
+        assert asm.insns[0].operands[0] == Imm(asm.base)
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\na:\n nop")
+
+    def test_lock_prefix_parsed(self):
+        asm = assemble("lock cmpxchg [rbx], rcx")
+        assert asm.insns[0].lock
+
+    def test_comments_and_blank_lines(self):
+        asm = assemble("; header\n\n  nop ; trailing\n")
+        assert len(asm.insns) == 1
+
+    def test_external_labels(self):
+        asm = assemble("call sin", external_labels={"sin": 0x9000})
+        assert asm.insns[0].operands[0] == Imm(0x9000)
+
+    def test_addresses_parallel_insns(self):
+        asm = assemble("nop\nnop\nhlt")
+        assert len(asm.addresses) == 3
+        assert asm.addresses[0] == asm.base
+
+    def test_roundtrip_through_coder(self):
+        asm = assemble("""
+            mov rax, [rbx + 8]
+            add rax, 5
+            lock xadd [rcx], rax
+            hlt
+        """)
+        assert CODER.disassemble(asm.code) == asm.insns
+
+
+class TestInterpreter:
+    def test_arithmetic_loop(self):
+        state, _ = run("""
+            mov rax, 0
+            mov rcx, 100
+        loop:
+            add rax, rcx
+            dec rcx
+            jne loop
+            hlt
+        """)
+        assert state.regs["rax"] == 5050
+
+    def test_memory_addressing(self):
+        state, memory = run("""
+            mov rbx, 0x8000
+            mov rcx, 3
+            mov rax, 7
+            mov [rbx + rcx*8 + 16], rax
+            mov rdx, [rbx + 40]
+            hlt
+        """)
+        assert memory.words[0x8000 + 24 + 16] == 7
+        assert state.regs["rdx"] == 7
+
+    def test_lea(self):
+        state, _ = run("""
+            mov rbx, 0x100
+            mov rcx, 4
+            lea rax, [rbx + rcx*8 + 2]
+            hlt
+        """)
+        assert state.regs["rax"] == 0x100 + 32 + 2
+
+    def test_stack_and_calls(self):
+        state, _ = run("""
+            mov rdi, 5
+            call double_it
+            hlt
+        double_it:
+            mov rax, rdi
+            add rax, rax
+            ret
+        """)
+        assert state.regs["rax"] == 10
+        assert state.regs["rsp"] == 0x7FFF0  # balanced
+
+    def test_push_pop(self):
+        state, _ = run("""
+            mov rax, 11
+            push rax
+            mov rax, 22
+            pop rbx
+            hlt
+        """)
+        assert state.regs["rbx"] == 11
+
+    def test_signed_conditions(self):
+        state, _ = run("""
+            mov rax, -5
+            cmp rax, 3
+            jl neg_path
+            mov rbx, 0
+            hlt
+        neg_path:
+            mov rbx, 1
+            hlt
+        """)
+        assert state.regs["rbx"] == 1
+
+    def test_unsigned_conditions(self):
+        # -5 as unsigned is huge, so JA (above) is taken.
+        state, _ = run("""
+            mov rax, -5
+            cmp rax, 3
+            ja big
+            mov rbx, 0
+            hlt
+        big:
+            mov rbx, 1
+            hlt
+        """)
+        assert state.regs["rbx"] == 1
+
+    def test_cmpxchg_success_and_failure(self):
+        state, memory = run("""
+            mov rbx, 0x8000
+            mov rax, 0
+            mov rcx, 7
+            lock cmpxchg [rbx], rcx
+            je ok
+            hlt
+        ok:
+            mov rax, 0
+            mov rcx, 9
+            lock cmpxchg [rbx], rcx   ; fails: memory holds 7
+            je bad
+            mov rdx, rax              ; rax loaded with current value
+            hlt
+        bad:
+            mov rdx, 999
+            hlt
+        """)
+        assert memory.words[0x8000] == 7
+        assert state.regs["rdx"] == 7
+
+    def test_xadd(self):
+        state, memory = run("""
+            mov rbx, 0x8000
+            mov rax, 40
+            mov [rbx], rax
+            mov rcx, 2
+            lock xadd [rbx], rcx
+            hlt
+        """)
+        assert memory.words[0x8000] == 42
+        assert state.regs["rcx"] == 40
+
+    def test_xchg(self):
+        state, memory = run("""
+            mov rbx, 0x8000
+            mov rax, 1
+            mov [rbx], rax
+            mov rcx, 2
+            xchg [rbx], rcx
+            hlt
+        """)
+        assert memory.words[0x8000] == 2
+        assert state.regs["rcx"] == 1
+
+    def test_div(self):
+        state, _ = run("""
+            mov rax, 17
+            mov rcx, 5
+            div rcx
+            hlt
+        """)
+        assert state.regs["rax"] == 3
+        assert state.regs["rdx"] == 2
+
+    def test_div_by_zero_faults(self):
+        with pytest.raises(GuestFault):
+            run("mov rcx, 0\n div rcx\n hlt")
+
+    def test_shift_ops(self):
+        state, _ = run("""
+            mov rax, 1
+            shl rax, 6
+            mov rbx, rax
+            shr rbx, 3
+            hlt
+        """)
+        assert state.regs["rax"] == 64
+        assert state.regs["rbx"] == 8
+
+    def test_float_ops(self):
+        state, _ = run(f"""
+            mov rax, {double_to_bits(1.5)}
+            mov rbx, {double_to_bits(2.25)}
+            fadd rax, rbx
+            fmul rax, rbx
+            hlt
+        """)
+        assert bits_to_double(state.regs["rax"]) == pytest.approx(
+            (1.5 + 2.25) * 2.25)
+
+    def test_fsqrt(self):
+        state, _ = run(f"""
+            mov rbx, {double_to_bits(9.0)}
+            fsqrt rax, rbx
+            hlt
+        """)
+        assert bits_to_double(state.regs["rax"]) == pytest.approx(3.0)
+
+    def test_runaway_guarded(self):
+        with pytest.raises(GuestFault):
+            run("spin:\n jmp spin", max_steps=1000)
+
+    def test_unknown_condition_rejected(self):
+        with pytest.raises(GuestFault):
+            evaluate_condition("zz", {"zf": False, "sf": False,
+                                      "cf": False, "of": False})
+
+
+class TestFlagProperties:
+    @given(st.integers(0, 2**64 - 1), st.integers(0, 2**64 - 1))
+    @settings(max_examples=150)
+    def test_cmp_condition_consistency(self, a, b):
+        """After cmp a, b the conditions must match Python's compare
+        in both signedness interpretations."""
+        source = f"""
+            mov rax, {a}
+            mov rbx, {b}
+            cmp rax, rbx
+            hlt
+        """
+        state, _ = run(source)
+        flags = state.flags
+        signed_a = a - 2**64 if a >= 2**63 else a
+        signed_b = b - 2**64 if b >= 2**63 else b
+        assert evaluate_condition("e", flags) == (a == b)
+        assert evaluate_condition("b", flags) == (a < b)
+        assert evaluate_condition("ae", flags) == (a >= b)
+        assert evaluate_condition("l", flags) == (signed_a < signed_b)
+        assert evaluate_condition("ge", flags) == (signed_a >= signed_b)
+        assert evaluate_condition("g", flags) == (signed_a > signed_b)
+        assert evaluate_condition("le", flags) == (signed_a <= signed_b)

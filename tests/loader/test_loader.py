@@ -1,0 +1,202 @@
+"""GELF format, IDL parsing, host library and linker tests."""
+
+import pytest
+
+from repro.dbt import DBTEngine
+from repro.dbt.config import RISOTTO, TCG_VER
+from repro.errors import LinkError, LoaderError
+from repro.loader import (
+    GuestBinary,
+    HostFunction,
+    HostLibrary,
+    HostLinker,
+    Signature,
+    build_binary,
+    parse_idl,
+)
+from repro.machine.memory import Memory
+from repro.workloads import build_libm, standard_libraries
+
+
+class TestIdl:
+    def test_parse_prototypes(self):
+        sigs = parse_idl("""
+            # math
+            f64 sin(f64);
+            i64 md5(ptr, i64);
+            void notify();
+        """)
+        assert sigs["sin"] == Signature("sin", "f64", ("f64",))
+        assert sigs["md5"].params == ("ptr", "i64")
+        assert sigs["notify"].params == ()
+
+    def test_void_params(self):
+        sigs = parse_idl("i64 f(void);")
+        assert sigs["f"].params == ()
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(LoaderError):
+            parse_idl("f64 sin f64;")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(LoaderError):
+            parse_idl("f32 sin(f64);")
+
+    def test_void_param_rejected(self):
+        with pytest.raises(LoaderError):
+            parse_idl("i64 f(void, i64);")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(LoaderError):
+            parse_idl("f64 sin(f64);\nf64 sin(f64);")
+
+
+class TestGelf:
+    def _binary(self):
+        return build_binary(
+            "main:\n    call sin\n    hlt",
+            guest_libs={"sin": "sin:\n    mov rax, 1\n    ret"},
+        )
+
+    def test_build_links_plt(self):
+        binary = self._binary()
+        assert binary.dynsym == ("sin",)
+        assert "sin" in binary.plt
+        assert binary.entry == binary.symbols["main"]
+
+    def test_serialization_roundtrip(self):
+        binary = self._binary()
+        data = binary.to_bytes()
+        parsed = GuestBinary.from_bytes(data)
+        assert parsed.entry == binary.entry
+        assert parsed.dynsym == binary.dynsym
+        assert parsed.plt == binary.plt
+        assert [s.name for s in parsed.sections] == \
+            [s.name for s in binary.sections]
+        assert parsed.section(".text").data == \
+            binary.section(".text").data
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(LoaderError):
+            GuestBinary.from_bytes(b"ELF!" + b"\x00" * 32)
+
+    def test_load_into_memory(self):
+        memory = Memory()
+        self._binary().load_into(memory)
+        assert memory.in_image(0x0040_0000)
+
+    def test_missing_entry_rejected(self):
+        with pytest.raises(LoaderError):
+            build_binary("start:\n hlt")
+
+    def test_guest_lib_without_label_rejected(self):
+        with pytest.raises(LoaderError):
+            build_binary("main:\n call sin\n hlt",
+                         guest_libs={"sin": "other:\n ret"})
+
+    def test_data_sections(self):
+        binary = build_binary("main:\n hlt", data={0x800000: 42})
+        memory = Memory()
+        binary.load_into(memory)
+        assert memory.load_word(0x800000) == 42
+
+
+class TestHostFunction:
+    def test_invoke_matches_guest_algorithm(self):
+        library = build_libm()
+        memory = Memory()
+        import struct
+
+        bits = struct.unpack("<Q", struct.pack("<d", 0.5))[0]
+        value = library["sin"].invoke(memory, (bits,))
+        as_float = struct.unpack("<d", struct.pack("<Q", value))[0]
+        assert abs(as_float - 0.479426) < 1e-4
+
+    def test_wrong_arity_rejected(self):
+        library = build_libm()
+        with pytest.raises(LinkError):
+            library["sin"].invoke(Memory(), (1, 2))
+
+    def test_missing_function_rejected(self):
+        with pytest.raises(LinkError):
+            build_libm()["nope"]
+
+    def test_duplicate_function_rejected(self):
+        library = build_libm()
+        with pytest.raises(LinkError):
+            library.add(library["sin"])
+
+    def test_idl_source_parses_back(self):
+        library = standard_libraries()
+        sigs = parse_idl(library.idl_source())
+        assert set(sigs) == set(library.functions)
+
+    def test_non_returning_body_faults(self):
+        fn = HostFunction(
+            signature=Signature("spin", "i64", ()),
+            guest_asm="spin:\n loop:\n jmp loop",
+            native_cost=lambda: 1,
+        )
+        with pytest.raises(LinkError):
+            fn.invoke(Memory(), (), max_steps=500)
+
+
+class TestLinker:
+    def _engine_and_binary(self, config):
+        library = build_libm()
+        binary = build_binary(
+            """
+main:
+    mov rdi, 4602678819172646912    ; bits(0.5)
+    call sin
+    mov rdi, rax
+    mov rax, 1
+    syscall
+    mov rdi, 0
+    mov rax, 60
+    syscall
+""",
+            guest_libs={"sin": library["sin"].guest_asm},
+        )
+        engine = DBTEngine(config, n_cores=1)
+        binary.load_into(engine.machine.memory)
+        return library, binary, engine
+
+    def test_linked_and_translated_agree(self):
+        library, binary, translated_engine = \
+            self._engine_and_binary(TCG_VER)
+        translated = translated_engine.run(binary.entry)
+
+        library, binary, linked_engine = \
+            self._engine_and_binary(RISOTTO)
+        linker = HostLinker(library, library.idl_source())
+        report = linker.link(binary, linked_engine.runtime)
+        assert report.linked == ["sin"]
+        linked = linked_engine.run(binary.entry)
+
+        assert translated.output == linked.output
+        assert linked.elapsed_cycles < translated.elapsed_cycles
+        assert linked.stats.plt_calls == 1
+        assert linker.call_counts["sin"] == 1
+
+    def test_unresolved_imports_stay_translated(self):
+        library = HostLibrary("empty")
+        __, binary, engine = self._engine_and_binary(RISOTTO)
+        linker = HostLinker(library, "")
+        report = linker.link(binary, engine.runtime)
+        assert report.unresolved == ["sin"]
+        result = engine.run(binary.entry)  # falls back to translation
+        assert result.output
+
+    def test_signature_mismatch_rejected(self):
+        library = build_libm()
+        __, binary, engine = self._engine_and_binary(RISOTTO)
+        linker = HostLinker(library, "f64 sin(f64, f64);")
+        with pytest.raises(LinkError):
+            linker.link(binary, engine.runtime)
+
+    def test_report_str(self):
+        library, binary, engine = self._engine_and_binary(RISOTTO)
+        linker = HostLinker(library, library.idl_source())
+        report = linker.link(binary, engine.runtime)
+        assert "sin" in str(report)

@@ -1,0 +1,83 @@
+"""Edge cases of the litmus stress harness and verifier reporting."""
+
+import pytest
+
+from repro.core import ARM, TCG, X86, Arch, Mode, Program, RmwFlavor
+from repro.core import litmus_library as L
+from repro.core import mappings as M
+from repro.core.litmus_library import R, W, outcome, shows
+from repro.core.program import Load, Rmw, Store
+from repro.core.verifier import check_corpus, check_mapping
+from repro.errors import MachineError
+from repro.machine.litmus import compile_thread, _collect_layout, run_stress
+
+
+def arm_prog(*threads):
+    return Program("p", Arch.ARM, tuple(threads))
+
+
+class TestHarnessCompilation:
+    def test_register_stores_rejected(self):
+        prog = arm_prog((R("a", "X"), Store("Y", "a")))
+        with pytest.raises(MachineError):
+            run_stress(prog, iterations=2, seeds=range(1))
+
+    def test_tcg_rmw_rejected(self):
+        prog = arm_prog((Rmw("X", 0, 1, RmwFlavor.TCG),))
+        with pytest.raises(MachineError):
+            run_stress(prog, iterations=2, seeds=range(1))
+
+    def test_acquire_release_modes_compile(self):
+        prog = arm_prog(
+            (Store("X", 1, mode=Mode.REL),),
+            (Load("a", "X", mode=Mode.ACQ),
+             Load("b", "X", mode=Mode.ACQ_PC)),
+        )
+        observed = run_stress(prog, iterations=8, seeds=range(2))
+        assert observed  # compiles and runs
+
+    def test_lxsx_rmw_compiles_and_runs(self):
+        prog = arm_prog(
+            (Rmw("X", 0, 1, RmwFlavor.LXSX, acq=True, rel=True,
+                 out="a"),),
+        )
+        observed = run_stress(prog, iterations=8, seeds=range(2))
+        assert shows(observed, outcome(X=1))
+
+    def test_layout_assigns_distinct_bases(self):
+        prog = arm_prog((R("a", "X"), R("b", "Y")))
+        layout = _collect_layout(prog)
+        assert layout.loc_base("X") != layout.loc_base("Y")
+        assert layout.res_base(0, "a") != layout.res_base(0, "b")
+
+    def test_compiled_thread_has_barrier_and_phase(self):
+        prog = arm_prog((W("X", 1),))
+        asm = compile_thread(prog, 0, _collect_layout(prog), 4)
+        assert "ldaddal" in asm   # sense barrier
+        assert "phase" in asm     # phase sweep
+
+
+class TestVerifierReporting:
+    def test_verdict_str_mentions_witness(self):
+        verdict = check_mapping(L.MPQ, M.qemu_x86_to_arm_gcc10,
+                                X86, ARM)
+        text = str(verdict)
+        assert "BROKEN" in text and "forbidden" in text
+
+    def test_ok_verdict_str(self):
+        verdict = check_mapping(L.MP, M.risotto_x86_to_arm_rmw1,
+                                X86, ARM)
+        assert "OK" in str(verdict)
+
+    def test_corpus_report_str(self):
+        report = check_corpus(
+            (L.MP, L.SB), M.risotto_x86_to_tcg, X86, TCG)
+        text = str(report)
+        assert "all tests pass" in text
+        assert "MP" in text
+
+    def test_corpus_report_failures_str(self):
+        report = check_corpus(
+            (L.MP,), M.nofences_x86_to_arm, X86, ARM)
+        assert "broken" in str(report)
+        assert report.failures

@@ -1,0 +1,124 @@
+"""Operational-vs-axiomatic cross-validation.
+
+The store-buffer machine must (a) never exhibit an outcome the
+axiomatic Arm model forbids, and (b) actually exhibit the canonical
+weak behaviours when the mapping leaves them unfenced — the paper's
+motivation (Section 2.1) made operational.
+"""
+
+import pytest
+
+from repro.core import ARM
+from repro.core import litmus_library as L
+from repro.core import mappings as M
+from repro.core.enumerate import behaviors
+from repro.core.litmus_library import outcome, shows
+from repro.errors import MachineError
+from repro.machine.litmus import run_stress
+from repro.machine.weakmem import BufferMode
+
+WEAK_MP = outcome(T1_a=1, T1_b=0)
+WEAK_SB = outcome(T0_a=0, T1_b=0)
+
+
+def stress(program, **kw):
+    kw.setdefault("iterations", 96)
+    kw.setdefault("seeds", range(6))
+    return run_stress(program, **kw)
+
+
+class TestWeakBehavioursAppear:
+    def test_mp_reorders_without_fences(self):
+        prog = M.nofences_x86_to_arm.apply(L.MP.program)
+        assert shows(stress(prog, iterations=128, seeds=range(8)),
+                     WEAK_MP)
+
+    def test_sb_buffering_visible_even_under_risotto(self):
+        # TSO allows a=b=0, so the verified mapping must NOT forbid it.
+        prog = M.risotto_x86_to_arm_rmw1.apply(L.SB.program)
+        assert shows(stress(prog), WEAK_SB)
+
+
+class TestMappingsForbidWeakOutcomes:
+    @pytest.mark.parametrize("mapping", [
+        M.risotto_x86_to_arm_rmw1,
+        M.risotto_x86_to_arm_rmw2,
+        M.qemu_x86_to_arm_gcc10,
+        M.armcats_intended,
+    ], ids=["risotto-rmw1", "risotto-rmw2", "qemu", "armcats"])
+    def test_mp_weak_outcome_never_appears(self, mapping):
+        prog = mapping.apply(L.MP.program)
+        assert not shows(stress(prog), WEAK_MP)
+
+    def test_sb_mfence_weak_outcome_never_appears(self):
+        prog = M.risotto_x86_to_arm_rmw1.apply(L.SB_MFENCE.program)
+        assert not shows(stress(prog), WEAK_SB)
+
+
+class TestSoundnessAgainstAxiomaticModel:
+    @pytest.mark.parametrize("test", [
+        L.MP, L.SB, L.SB_MFENCE, L.MP_MFENCE, L.W2PLUS2,
+    ], ids=lambda t: t.name)
+    @pytest.mark.parametrize("mapping", [
+        M.risotto_x86_to_arm_rmw1, M.nofences_x86_to_arm,
+    ], ids=["risotto", "nofences"])
+    def test_observed_subset_of_allowed(self, test, mapping):
+        prog = mapping.apply(test.program)
+        observed = stress(prog, iterations=64, seeds=range(4))
+        allowed = behaviors(prog, ARM)
+        stray = [o for o in observed if o not in allowed]
+        assert not stray, f"machine produced forbidden outcomes: {stray}"
+
+    def test_rmw_program_observed_subset(self):
+        prog = M.risotto_x86_to_arm_rmw1.apply(L.SBAL.program)
+        observed = stress(prog, iterations=48, seeds=range(4))
+        allowed = behaviors(prog, ARM)
+        assert all(o in allowed for o in observed)
+        # The forbidden SBAL outcome never shows operationally either.
+        assert not shows(observed, outcome(X=1, Y=1, T0_a=0, T1_b=0))
+
+    def test_rmw2_program_observed_subset(self):
+        prog = M.risotto_x86_to_arm_rmw2.apply(L.SBAL.program)
+        observed = stress(prog, iterations=48, seeds=range(4))
+        assert not shows(observed, outcome(X=1, Y=1, T0_a=0, T1_b=0))
+
+
+class TestTsoBufferMode:
+    def test_tso_mode_forbids_mp_reordering(self):
+        # FIFO buffers: MP's weak outcome needs non-FIFO drain.
+        prog = M.nofences_x86_to_arm.apply(L.MP.program)
+        observed = stress(prog, iterations=128, seeds=range(8),
+                          buffer_mode=BufferMode.TSO)
+        assert not shows(observed, WEAK_MP)
+
+    def test_tso_mode_still_shows_sb(self):
+        prog = M.nofences_x86_to_arm.apply(L.SB.program)
+        observed = stress(prog, iterations=128, seeds=range(8),
+                          buffer_mode=BufferMode.TSO)
+        assert shows(observed, WEAK_SB)
+
+
+class TestHarnessErrors:
+    def test_requires_arm_program(self):
+        with pytest.raises(MachineError):
+            run_stress(L.MP.program)  # x86-level program
+
+    def test_spurious_stxr_failures_still_converge(self):
+        from repro.machine import Machine
+        from repro.isa.arm import assemble
+
+        machine = Machine(n_cores=1, spurious_failure_rate=0.5,
+                          track_coherence=False, seed=3)
+        asm = assemble("""
+            mov x1, #4096
+        retry:
+            ldxr x0, [x1]
+            add x0, x0, #1
+            stxr x2, x0, [x1]
+            cbnz x2, retry
+            hlt
+        """, base=0x10000)
+        machine.memory.add_image(asm.base, asm.code)
+        machine.core(0).start(asm.base)
+        machine.run()
+        assert machine.memory.load_word(4096) == 1

@@ -1,0 +1,397 @@
+"""Machine-level tests: memory, store buffers, core semantics, timing."""
+
+import pytest
+from random import Random
+
+from repro.errors import MachineError
+from repro.isa.arm import assemble
+from repro.machine import (
+    ArmCore,
+    BufferMode,
+    CoherenceTracker,
+    CostModel,
+    Machine,
+    Memory,
+    StoreBuffer,
+    cond_index,
+)
+
+
+def run_single(source, costs=None, buffer_mode=BufferMode.NONE,
+               regs=None):
+    machine = Machine(n_cores=1, buffer_mode=buffer_mode,
+                      costs=costs or CostModel(),
+                      track_coherence=False)
+    asm = assemble(source, base=0x10000)
+    machine.memory.add_image(asm.base, asm.code)
+    core = machine.core(0)
+    if regs:
+        core.regs.update(regs)
+    core.start(asm.base)
+    machine.run()
+    return core, machine
+
+
+class TestMemory:
+    def test_default_zero(self):
+        assert Memory().load_word(0x1234) == 0
+
+    def test_store_load(self):
+        memory = Memory()
+        memory.store_word(0x100, 42)
+        assert memory.load_word(0x100) == 42
+
+    def test_image_fetch(self):
+        memory = Memory()
+        memory.add_image(0x1000, b"\x01\x02\x03")
+        assert memory.read_bytes(0x1001, 2) == b"\x02\x03"
+
+    def test_unmapped_fetch_faults(self):
+        with pytest.raises(MachineError):
+            Memory().read_bytes(0x1000, 4)
+
+    def test_overlapping_images_rejected(self):
+        memory = Memory()
+        memory.add_image(0x1000, b"\x00" * 16)
+        with pytest.raises(MachineError):
+            memory.add_image(0x1008, b"\x00" * 16)
+
+    def test_image_data_readable_as_words(self):
+        memory = Memory()
+        memory.add_image(0x1000, (1234).to_bytes(8, "little"))
+        assert memory.load_word(0x1000) == 1234
+
+    def test_writes_shadow_images(self):
+        memory = Memory()
+        memory.add_image(0x1000, (1).to_bytes(8, "little"))
+        memory.store_word(0x1000, 2)
+        assert memory.load_word(0x1000) == 2
+
+
+class TestCoherence:
+    def test_first_touch_free(self):
+        tracker = CoherenceTracker()
+        assert tracker.on_write(0, 0x100) == 0
+        assert tracker.on_write(0, 0x108) == 0  # same line
+
+    def test_ownership_transfer_costs(self):
+        tracker = CoherenceTracker()
+        tracker.on_write(0, 0x100)
+        assert tracker.on_write(1, 0x100) == tracker.transfer_cost
+        assert tracker.owner_of(0x100) == 1
+
+    def test_read_shares(self):
+        tracker = CoherenceTracker()
+        tracker.on_write(0, 0x100)
+        assert tracker.on_read(1, 0x100) == tracker.share_cost
+        assert tracker.owner_of(0x100) is None
+
+    def test_own_line_reads_free(self):
+        tracker = CoherenceTracker()
+        tracker.on_write(0, 0x100)
+        assert tracker.on_read(0, 0x100) == 0
+
+
+class TestStoreBuffer:
+    def test_forwarding(self):
+        buf = StoreBuffer(mode=BufferMode.WEAK)
+        buf.push(0x100, 1)
+        buf.push(0x100, 2)
+        assert buf.forward(0x100) == 2
+        assert buf.forward(0x200) is None
+
+    def test_same_location_drains_in_order(self):
+        memory = Memory()
+        rng = Random(0)
+        buf = StoreBuffer(mode=BufferMode.WEAK)
+        buf.push(0x100, 1)
+        buf.push(0x100, 2)
+        buf.drain_one(memory, rng)
+        assert memory.load_word(0x100) == 1
+        buf.drain_one(memory, rng)
+        assert memory.load_word(0x100) == 2
+
+    def test_weak_mode_can_reorder_across_locations(self):
+        reordered = False
+        for seed in range(32):
+            memory = Memory()
+            buf = StoreBuffer(mode=BufferMode.WEAK)
+            buf.push(0x100, 1)
+            buf.push(0x200, 1)
+            buf.drain_one(memory, Random(seed))
+            if memory.load_word(0x200) == 1 and \
+                    memory.load_word(0x100) == 0:
+                reordered = True
+                break
+        assert reordered
+
+    def test_tso_mode_is_fifo(self):
+        for seed in range(16):
+            memory = Memory()
+            buf = StoreBuffer(mode=BufferMode.TSO)
+            buf.push(0x100, 1)
+            buf.push(0x200, 1)
+            buf.drain_one(memory, Random(seed))
+            assert memory.load_word(0x100) == 1
+            assert memory.load_word(0x200) == 0
+
+    def test_barrier_blocks_younger_stores(self):
+        for seed in range(16):
+            memory = Memory()
+            buf = StoreBuffer(mode=BufferMode.WEAK)
+            buf.push(0x100, 1)
+            buf.barrier()
+            buf.push(0x200, 1)
+            buf.drain_one(memory, Random(seed))
+            assert memory.load_word(0x100) == 1
+            assert memory.load_word(0x200) == 0
+
+    def test_drain_all(self):
+        memory = Memory()
+        buf = StoreBuffer(mode=BufferMode.WEAK)
+        buf.push(0x100, 1)
+        buf.barrier()
+        buf.push(0x200, 2)
+        assert buf.drain_all(memory) == 2
+        assert memory.load_word(0x200) == 2
+        assert buf.pending() == 0
+
+
+class TestCore:
+    def test_alu_and_branches(self):
+        core, _ = run_single("""
+            mov x0, #0
+            mov x1, #10
+        loop:
+            add x0, x0, x1
+            sub x1, x1, #1
+            cbnz x1, loop
+            hlt
+        """)
+        assert core.get("x0") == 55
+
+    def test_xzr_semantics(self):
+        core, _ = run_single("""
+            mov x0, #5
+            add x1, x0, xzr
+            mov xzr, #7
+            add x2, xzr, xzr
+            hlt
+        """)
+        assert core.get("x1") == 5
+        assert core.get("x2") == 0
+        assert core.get("xzr") == 0
+
+    def test_cset_and_csel(self):
+        eq = cond_index("eq")
+        ne = cond_index("ne")
+        core, _ = run_single(f"""
+            mov x0, #3
+            cmp x0, #3
+            cset x1, #{eq}
+            mov x2, #10
+            mov x3, #20
+            csel x4, x2, x3, #{ne}
+            hlt
+        """)
+        assert core.get("x1") == 1
+        assert core.get("x4") == 20  # ne is false
+
+    def test_call_and_return(self):
+        core, _ = run_single("""
+            mov x0, #4
+            bl double
+            hlt
+        double:
+            add x0, x0, x0
+            ret
+        """)
+        assert core.get("x0") == 8
+
+    def test_ldxr_stxr_success(self):
+        core, machine = run_single("""
+            mov x1, #4096
+            mov x2, #9
+        retry:
+            ldxr x0, [x1]
+            add x0, x0, x2
+            stxr x3, x0, [x1]
+            cbnz x3, retry
+            hlt
+        """)
+        assert machine.memory.load_word(4096) == 9
+        assert core.get("x3") == 0
+
+    def test_stxr_without_monitor_fails(self):
+        core, _ = run_single("""
+            mov x1, #4096
+            mov x0, #5
+            stxr x3, x0, [x1]
+            hlt
+        """)
+        assert core.get("x3") == 1
+
+    def test_casal(self):
+        core, machine = run_single("""
+            mov x1, #4096
+            mov x0, #0
+            mov x2, #7
+            casal x0, x2, [x1]
+            mov x4, #7
+            mov x5, #9
+            casal x4, x5, [x1]
+            hlt
+        """)
+        assert machine.memory.load_word(4096) == 9
+        assert core.get("x0") == 0  # old value on success
+        assert core.get("x4") == 7
+
+    def test_cas_failure_leaves_memory(self):
+        core, machine = run_single("""
+            mov x1, #4096
+            mov x0, #3
+            mov x2, #7
+            casal x0, x2, [x1]
+            hlt
+        """)
+        assert machine.memory.load_word(4096) == 0
+        assert core.get("x0") == 0  # loaded the actual value
+
+    def test_ldaddal(self):
+        core, machine = run_single("""
+            mov x1, #4096
+            mov x0, #5
+            ldaddal x0, x2, [x1]
+            ldaddal x0, x3, [x1]
+            hlt
+        """)
+        assert machine.memory.load_word(4096) == 10
+        assert core.get("x2") == 0 and core.get("x3") == 5
+
+    def test_fence_cycles_tracked(self):
+        costs = CostModel()
+        core, _ = run_single("dmbff\n dmbld\n dmbst\n hlt", costs=costs)
+        assert core.fence_cycles == \
+            costs.dmb_ff + costs.dmb_ld + costs.dmb_st
+
+    def test_fp_ops(self):
+        import struct
+
+        def bits(x):
+            return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+        core, _ = run_single(f"""
+            mov x0, #{bits(2.0)}
+            mov x1, #{bits(8.0)}
+            fadd x2, x0, x1
+            fmul x3, x0, x1
+            fdiv x4, x1, x0
+            fsqrt x5, x1
+            hlt
+        """)
+
+        def as_double(v):
+            return struct.unpack("<d", struct.pack("<Q", v))[0]
+
+        assert as_double(core.get("x2")) == 10.0
+        assert as_double(core.get("x3")) == 16.0
+        assert as_double(core.get("x4")) == 4.0
+        assert as_double(core.get("x5")) == pytest.approx(2.828, 0.01)
+
+    def test_traps_intercept_pc(self):
+        machine = Machine(n_cores=1, track_coherence=False)
+        asm = assemble("""
+            mov x0, #5
+            bl 0x9000
+            hlt
+        """, base=0x10000)
+        machine.memory.add_image(asm.base, asm.code)
+        core = machine.core(0)
+
+        def native(c):
+            c.set("x0", c.get("x0") * 100)
+            c.pc = c.get("x30")
+
+        core.traps[0x9000] = native
+        core.start(asm.base)
+        machine.run()
+        assert core.get("x0") == 500
+
+    def test_svc_dispatch(self):
+        machine = Machine(n_cores=1, track_coherence=False)
+        asm = assemble("mov x0, #3\n svc #7\n hlt", base=0x10000)
+        machine.memory.add_image(asm.base, asm.code)
+        seen = []
+        core = machine.core(0)
+        core.svc_handler = lambda c, imm: seen.append(
+            (imm, c.get("x0")))
+        core.start(asm.base)
+        machine.run()
+        assert seen == [(7, 3)]
+
+    def test_svc_without_handler_faults(self):
+        with pytest.raises(MachineError):
+            run_single("svc #1\n hlt")
+
+    def test_unknown_insn_faults(self):
+        machine = Machine(n_cores=1, track_coherence=False)
+        core = machine.core(0)
+        from repro.isa.common import Insn
+        with pytest.raises(MachineError):
+            core.execute(Insn("hvc"))
+
+
+class TestMachineScheduling:
+    def test_parallel_elapsed_is_max(self):
+        machine = Machine(n_cores=2, track_coherence=False, jitter=0)
+        short = assemble("mov x0, #1\n hlt", base=0x10000)
+        long = assemble(
+            "mov x0, #0\n mov x1, #100\nl:\n add x0, x0, #1\n"
+            " cmp x0, x1\n b.ne l\n hlt", base=0x20000)
+        machine.memory.add_image(short.base, short.code)
+        machine.memory.add_image(long.base, long.code)
+        machine.core(0).start(short.base)
+        machine.core(1).start(long.base)
+        machine.run()
+        assert machine.elapsed_cycles() == max(
+            machine.core(0).cycles, machine.core(1).cycles)
+        assert machine.total_cycles() == \
+            machine.core(0).cycles + machine.core(1).cycles
+
+    def test_runaway_guarded(self):
+        machine = Machine(n_cores=1, track_coherence=False)
+        asm = assemble("spin:\n b spin", base=0x10000)
+        machine.memory.add_image(asm.base, asm.code)
+        machine.core(0).start(asm.base)
+        with pytest.raises(MachineError):
+            machine.run(max_steps=500)
+
+    def test_deterministic_for_seed(self):
+        def one(seed):
+            machine = Machine(n_cores=2, seed=seed,
+                              track_coherence=False)
+            a = assemble(
+                "mov x1, #4096\n mov x0, #1\n str x0, [x1]\n hlt",
+                base=0x10000)
+            b = assemble(
+                "mov x1, #4096\n ldr x2, [x1]\n hlt", base=0x20000)
+            machine.memory.add_image(a.base, a.code)
+            machine.memory.add_image(b.base, b.code)
+            machine.core(0).start(a.base)
+            machine.core(1).start(b.base)
+            machine.run()
+            return (machine.core(1).get("x2"),
+                    machine.elapsed_cycles())
+
+        assert one(7) == one(7)
+
+    def test_buffers_drained_at_quiesce(self):
+        machine = Machine(n_cores=1, buffer_mode=BufferMode.WEAK,
+                          track_coherence=False)
+        asm = assemble(
+            "mov x1, #4096\n mov x0, #9\n str x0, [x1]\n hlt",
+            base=0x10000)
+        machine.memory.add_image(asm.base, asm.code)
+        machine.core(0).start(asm.base)
+        machine.run()
+        assert machine.memory.load_word(4096) == 9

@@ -1,0 +1,412 @@
+"""TCG IR structure and optimizer pass tests."""
+
+import pytest
+
+from repro.core.events import Fence
+from repro.errors import TranslationError
+from repro.tcg.ir import (
+    Cond,
+    Const,
+    MO_ALL,
+    MO_LD_LD,
+    MO_LD_ST,
+    MO_ST_LD,
+    MO_ST_ST,
+    Op,
+    TCGBlock,
+    Temp,
+    fence_to_mask,
+    mask_to_fence,
+)
+from repro.tcg.optimizer import (
+    OptimizerConfig,
+    constant_propagation,
+    dead_code_elimination,
+    memory_access_elimination,
+    merge_fences_pass,
+    optimize,
+)
+
+
+def t(name):
+    return Temp(name)
+
+
+def g(name):
+    return Temp(name, is_global=True)
+
+
+class TestMasks:
+    def test_fence_mask_roundtrip(self):
+        for fence in (Fence.FRR, Fence.FRW, Fence.FRM, Fence.FWW,
+                      Fence.FWR, Fence.FMW, Fence.FMM):
+            assert mask_to_fence(fence_to_mask(fence)) is fence
+
+    def test_fsc_maps_to_all(self):
+        assert fence_to_mask(Fence.FSC) == MO_ALL
+
+    def test_frm_is_ld_ld_plus_ld_st(self):
+        assert fence_to_mask(Fence.FRM) == MO_LD_LD | MO_LD_ST
+
+    def test_zero_mask_rejected(self):
+        with pytest.raises(TranslationError):
+            mask_to_fence(0)
+
+    def test_non_tcg_fence_rejected(self):
+        with pytest.raises(TranslationError):
+            fence_to_mask(Fence.DMBFF)
+
+
+class TestOpIO:
+    def test_alu_outputs_inputs(self):
+        op = Op("add", (t("t0"), t("t1"), Const(3)))
+        assert op.outputs() == (t("t0"),)
+        assert op.inputs() == (t("t1"),)
+
+    def test_store_has_no_outputs(self):
+        op = Op("st", (t("t0"), t("t1"), Const(0)))
+        assert op.outputs() == ()
+        assert set(op.inputs()) == {t("t0"), t("t1")}
+
+    def test_call_ret_is_output(self):
+        op = Op("call", ("helper_fadd", t("t9"), t("t1"), t("t2")))
+        assert op.outputs() == (t("t9"),)
+        assert set(op.inputs()) == {t("t1"), t("t2")}
+
+    def test_side_effects(self):
+        assert Op("st", (t("a"), t("b"), Const(0))).has_side_effects()
+        assert Op("mb", (Const(1),)).has_side_effects()
+        assert not Op("add", (t("a"), t("b"), t("c"))).has_side_effects()
+
+
+def make_block(*ops):
+    block = TCGBlock(guest_pc=0x1000)
+    block.ops = list(ops)
+    return block
+
+
+class TestConstProp:
+    def test_folds_constant_alu(self):
+        block = make_block(
+            Op("movi", (t("t0"), Const(4))),
+            Op("movi", (t("t1"), Const(5))),
+            Op("add", (t("t2"), t("t0"), t("t1"))),
+        )
+        constant_propagation(block)
+        assert block.ops[2] == Op("movi", (t("t2"), Const(9)))
+
+    def test_false_dependency_elimination(self):
+        # x * 0 -> 0 even when x is unknown (Section 6.1).
+        block = make_block(
+            Op("movi", (t("t1"), Const(0))),
+            Op("mul", (t("t2"), t("t0"), t("t1"))),
+        )
+        constant_propagation(block)
+        assert block.ops[1] == Op("movi", (t("t2"), Const(0)))
+
+    def test_add_zero_identity(self):
+        block = make_block(
+            Op("movi", (t("t1"), Const(0))),
+            Op("add", (t("t2"), t("t0"), t("t1"))),
+        )
+        constant_propagation(block)
+        assert block.ops[1] == Op("mov", (t("t2"), t("t0")))
+
+    def test_setcond_folds(self):
+        block = make_block(
+            Op("movi", (t("t0"), Const(7))),
+            Op("setcond", (t("t1"), t("t0"), Const(7), Cond.EQ)),
+        )
+        constant_propagation(block)
+        assert block.ops[1] == Op("movi", (t("t1"), Const(1)))
+
+    def test_label_clears_knowledge(self):
+        from repro.tcg.ir import LabelRef
+
+        block = make_block(
+            Op("movi", (t("t0"), Const(4))),
+            Op("set_label", (LabelRef(0),)),
+            Op("add", (t("t1"), t("t0"), Const(1))),
+        )
+        constant_propagation(block)
+        # After the label t0 is no longer known constant.
+        assert block.ops[2].name == "add"
+
+    def test_impure_call_clears_globals(self):
+        block = make_block(
+            Op("movi", (g("g_rax"), Const(4))),
+            Op("call", ("helper_syscall", None)),
+            Op("add", (t("t1"), g("g_rax"), Const(1))),
+        )
+        constant_propagation(block)
+        assert block.ops[2].name == "add"  # not folded
+
+    def test_pure_helper_keeps_globals(self):
+        block = make_block(
+            Op("movi", (g("g_rbx"), Const(4))),
+            Op("call", ("helper_fadd", t("t0"), t("t1"), t("t2"))),
+            Op("add", (t("t3"), g("g_rbx"), Const(1))),
+        )
+        constant_propagation(block)
+        assert block.ops[2] == Op("movi", (t("t3"), Const(5)))
+
+    def test_division_by_zero_not_folded(self):
+        block = make_block(
+            Op("movi", (t("t0"), Const(1))),
+            Op("movi", (t("t1"), Const(0))),
+            Op("divu", (t("t2"), t("t0"), t("t1"))),
+        )
+        constant_propagation(block)
+        assert block.ops[2].name == "divu"
+
+
+class TestMemOpt:
+    def _addr_setup(self):
+        return [
+            Op("mov", (t("a0"), g("g_rbx"))),
+            Op("add", (t("a1"), g("g_rbx"), Const(0))),
+        ]
+
+    def test_raw_forwarding(self):
+        block = make_block(
+            Op("st", (t("v"), t("a0"), Const(8))),
+            Op("ld", (t("x"), t("a0"), Const(8))),
+        )
+        removed = memory_access_elimination(block)
+        assert removed == 1
+        assert block.ops[1] == Op("mov", (t("x"), t("v")))
+
+    def test_raw_forwarding_across_value_numbered_addresses(self):
+        # Two different temps holding the same symbolic address.
+        block = make_block(
+            Op("mov", (t("a0"), g("g_rbx"))),
+            Op("st", (t("v"), t("a0"), Const(8))),
+            Op("mov", (t("a1"), g("g_rbx"))),
+            Op("ld", (t("x"), t("a1"), Const(8))),
+        )
+        assert memory_access_elimination(block) == 1
+
+    @pytest.mark.parametrize("mask", [
+        MO_LD_LD | MO_ST_LD,   # Fmr — the FMR bug's fence class
+        MO_ALL,                # Fmm/Fsc indistinguishable: refuse
+    ], ids=["fmr", "full"])
+    def test_no_forwarding_across_read_ordering_fences(self, mask):
+        block = make_block(
+            Op("st", (t("v"), t("a0"), Const(0))),
+            Op("mb", (Const(mask),)),
+            Op("ld", (t("x"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 0
+        assert block.ops[2].name == "ld"
+
+    def test_forwarding_across_fww(self):
+        block = make_block(
+            Op("st", (t("v"), t("a0"), Const(0))),
+            Op("mb", (Const(MO_ST_ST),)),
+            Op("ld", (t("x"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 1
+
+    def test_rar_reuse(self):
+        block = make_block(
+            Op("ld", (t("x"), t("a0"), Const(0))),
+            Op("ld", (t("y"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 1
+        assert block.ops[1] == Op("mov", (t("y"), t("x")))
+
+    def test_rar_blocked_by_intervening_store_to_unknown(self):
+        block = make_block(
+            Op("ld", (t("x"), t("a0"), Const(0))),
+            Op("st", (t("v"), t("a9"), Const(0))),  # may alias
+            Op("ld", (t("y"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 0
+
+    def test_same_base_different_offset_no_alias(self):
+        block = make_block(
+            Op("ld", (t("x"), t("a0"), Const(0))),
+            Op("st", (t("v"), t("a0"), Const(8))),  # disjoint word
+            Op("ld", (t("y"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 1
+
+    def test_waw_removal(self):
+        block = make_block(
+            Op("st", (t("v1"), t("a0"), Const(0))),
+            Op("st", (t("v2"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 1
+        assert len([op for op in block.ops if op.name == "st"]) == 1
+        assert block.ops[-1].args[0] == t("v2")
+
+    def test_waw_not_removed_across_fww(self):
+        """The conservative stance from the checker's F-WAW finding."""
+        block = make_block(
+            Op("st", (t("v1"), t("a0"), Const(0))),
+            Op("mb", (Const(MO_ST_ST),)),
+            Op("st", (t("v2"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 0
+
+    def test_atomics_invalidate(self):
+        block = make_block(
+            Op("st", (t("v"), t("a0"), Const(0))),
+            Op("cas", (t("old"), t("a1"), t("e"), t("n"))),
+            Op("ld", (t("x"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 0
+
+
+class TestFenceMerge:
+    def test_adjacent_fences_merge(self):
+        block = make_block(
+            Op("mb", (Const(MO_LD_LD | MO_LD_ST),)),  # Frm
+            Op("mb", (Const(MO_ST_ST),)),             # Fww
+        )
+        assert merge_fences_pass(block) == 1
+        assert block.ops == [
+            Op("mb", (Const(MO_LD_LD | MO_LD_ST | MO_ST_ST),))]
+
+    def test_merge_across_pure_ops(self):
+        block = make_block(
+            Op("mb", (Const(MO_LD_LD),)),
+            Op("add", (t("t0"), t("t1"), Const(1))),
+            Op("mb", (Const(MO_ST_ST),)),
+        )
+        assert merge_fences_pass(block) == 1
+        assert block.ops[0].args[0].value == MO_LD_LD | MO_ST_ST
+
+    def test_no_merge_across_memory_access(self):
+        block = make_block(
+            Op("mb", (Const(MO_LD_LD),)),
+            Op("ld", (t("t0"), t("t1"), Const(0))),
+            Op("mb", (Const(MO_ST_ST),)),
+        )
+        assert merge_fences_pass(block) == 0
+
+    def test_no_merge_across_block_label(self):
+        """Fences never merge across control flow (block granularity,
+        Section 8's ArMOR discussion)."""
+        from repro.tcg.ir import LabelRef
+
+        block = make_block(
+            Op("mb", (Const(MO_LD_LD),)),
+            Op("set_label", (LabelRef(0),)),
+            Op("mb", (Const(MO_ST_ST),)),
+        )
+        assert merge_fences_pass(block) == 0
+
+    def test_empty_mask_dropped(self):
+        block = make_block(Op("mb", (Const(0),)))
+        assert merge_fences_pass(block) == 1
+        assert block.ops == []
+
+
+class TestDeadCode:
+    def test_unused_pure_op_removed(self):
+        block = make_block(
+            Op("movi", (t("t0"), Const(4))),
+            Op("exit_tb", (Const(0x2000),)),
+        )
+        assert dead_code_elimination(block) == 1
+
+    def test_used_op_kept(self):
+        block = make_block(
+            Op("movi", (t("t0"), Const(4))),
+            Op("st", (t("t0"), t("t1"), Const(0))),
+            Op("exit_tb", (Const(0x2000),)),
+        )
+        assert dead_code_elimination(block) == 0
+
+    def test_global_write_kept(self):
+        block = make_block(
+            Op("movi", (g("g_rax"), Const(4))),
+            Op("exit_tb", (Const(0x2000),)),
+        )
+        assert dead_code_elimination(block) == 0
+
+    def test_overwritten_flag_write_removed(self):
+        block = make_block(
+            Op("movi", (g("g_zf"), Const(0))),
+            Op("movi", (g("g_zf"), Const(1))),
+            Op("exit_tb", (Const(0x2000),)),
+        )
+        assert dead_code_elimination(block) == 1
+
+    def test_flag_read_before_overwrite_kept(self):
+        block = make_block(
+            Op("movi", (g("g_zf"), Const(0))),
+            Op("mov", (t("t0"), g("g_zf"))),
+            Op("st", (t("t0"), t("t1"), Const(0))),
+            Op("movi", (g("g_zf"), Const(1))),
+            Op("exit_tb", (Const(0x2000),)),
+        )
+        assert dead_code_elimination(block) == 0
+
+    def test_globals_live_across_calls(self):
+        block = make_block(
+            Op("movi", (g("g_rax"), Const(60))),
+            Op("call", ("helper_syscall", None)),
+            Op("movi", (g("g_rax"), Const(0))),
+            Op("exit_tb", (Const(0x2000),)),
+        )
+        assert dead_code_elimination(block) == 0
+
+
+class TestPipeline:
+    def test_full_pipeline_counts(self):
+        block = make_block(
+            Op("movi", (t("t0"), Const(2))),
+            Op("movi", (t("t1"), Const(3))),
+            Op("add", (t("t2"), t("t0"), t("t1"))),
+            Op("mb", (Const(MO_LD_LD | MO_LD_ST),)),
+            Op("mb", (Const(MO_ST_ST),)),
+            Op("st", (t("t2"), g("g_rbx"), Const(0))),
+            Op("exit_tb", (Const(0x2000),)),
+        )
+        stats = optimize(block)
+        assert stats.folded >= 1
+        assert stats.fences_merged == 1
+        assert stats.dead_removed >= 1
+
+    def test_passes_can_be_disabled(self):
+        block = make_block(
+            Op("mb", (Const(MO_LD_LD),)),
+            Op("mb", (Const(MO_ST_ST),)),
+        )
+        stats = optimize(block, OptimizerConfig(
+            constprop=False, memopt=False, fence_merge=False,
+            deadcode=False))
+        assert stats.fences_merged == 0
+        assert len(block.ops) == 2
+
+
+class TestForwardingStaleness:
+    """Regression: forwarding must not read a register overwritten
+    between the store and the load (found by differential fuzzing)."""
+
+    def test_raw_forward_refused_when_source_overwritten(self):
+        block = make_block(
+            Op("st", (g("g_r9"), t("a0"), Const(8))),
+            Op("shl", (g("g_r9"), g("g_r9"), Const(8))),
+            Op("ld", (t("x"), t("a0"), Const(8))),
+        )
+        assert memory_access_elimination(block) == 0
+        assert block.ops[2].name == "ld"
+
+    def test_rar_reuse_refused_when_dest_overwritten(self):
+        block = make_block(
+            Op("ld", (g("g_rax"), t("a0"), Const(0))),
+            Op("add", (g("g_rax"), g("g_rax"), Const(1))),
+            Op("ld", (t("y"), t("a0"), Const(0))),
+        )
+        assert memory_access_elimination(block) == 0
+
+    def test_forward_still_fires_when_value_unchanged(self):
+        block = make_block(
+            Op("st", (g("g_r9"), t("a0"), Const(8))),
+            Op("add", (g("g_rax"), g("g_rax"), Const(1))),
+            Op("ld", (t("x"), t("a0"), Const(8))),
+        )
+        assert memory_access_elimination(block) == 1
