@@ -5,41 +5,37 @@ each relative to QEMU) plus the Section 7.2 prose numbers: the fence
 cost share (avg ~48%, up to 75% on freqmine) and tcg-ver's gain
 (avg 6.7%, up to 19.7%).  Also checks E11: the idle host linker costs
 nothing (risotto == tcg-ver on linker-free workloads).
-"""
 
-from dataclasses import replace
+The (16 benchmarks × 5 variants) sweep runs through the parallel
+harness: each cell is an independent seeded machine, so rows are
+bit-identical to a serial sweep whatever the worker count.
+"""
 
 import pytest
 
-from repro.analysis import BenchRow, BenchTable, figure12_report
-from repro.workloads import ALL_SPECS, run_kernel
+from repro.analysis import BenchTable, figure12_report, run_stats_footer
+from repro.workloads import ALL_SPECS, kernel_grid, run_parallel
 
 VARIANTS = ("qemu", "no-fences", "tcg-ver", "risotto", "native")
 ITERATIONS = 400
 
 
 @pytest.fixture(scope="module")
-def fig12_table() -> BenchTable:
-    table = BenchTable(name="figure12")
-    for spec in ALL_SPECS:
-        sized = replace(spec, iterations=ITERATIONS)
-        for variant in VARIANTS:
-            outcome = run_kernel(sized, variant)
-            table.add(BenchRow(
-                benchmark=spec.name,
-                variant=variant,
-                cycles=outcome.cycles,
-                fence_cycles=outcome.result.fence_cycles,
-                total_cycles=outcome.result.total_cycles,
-                checksum=outcome.checksum,
-            ))
-    return table
+def fig12_sweep():
+    specs = kernel_grid(ALL_SPECS, VARIANTS, iterations=ITERATIONS)
+    return run_parallel(specs)
 
 
-def test_figure12(benchmark, fig12_table, emit_report):
+@pytest.fixture(scope="module")
+def fig12_table(fig12_sweep) -> BenchTable:
+    return BenchTable.from_rows("figure12", fig12_sweep)
+
+
+def test_figure12(benchmark, fig12_sweep, fig12_table, emit_report):
     table = benchmark.pedantic(lambda: fig12_table, rounds=1,
                                iterations=1)
-    report = figure12_report(table)
+    report = figure12_report(table) + "\n" + \
+        run_stats_footer(fig12_sweep, "figure 12 harness stats")
     emit_report("figure12_parsec_phoenix", report)
 
     # --- correctness: every variant computes the same checksum ------

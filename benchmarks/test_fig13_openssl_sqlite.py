@@ -5,75 +5,58 @@ sqlite speedtest, each as: QEMU (translated guest library) vs Risotto
 (dynamic host linker) vs native.  Expected shape: speedups from ~1.4×
 (md5-1024, no hardware acceleration) to ~23× (sha256-8192, ARMv8 crypto
 extensions), with Risotto on a par with native execution.
+
+The (11 benchmarks × 3 variants) sweep runs through the parallel
+harness; the host library is rebuilt by name inside each worker.
 """
 
 import pytest
 
-from repro.analysis import BenchRow, BenchTable, speedup_report
-from repro.workloads import SQLITE_DB_BASE, standard_libraries
-from repro.workloads.runner import run_library_workload
+from repro.analysis import BenchTable, run_stats_footer, speedup_report
+from repro.workloads import library_grid, run_parallel
+from repro.workloads.parallel import DATA_BUF
 
-LIBRARY = standard_libraries()
-DATA_BUF = 0x0220_0000
 VARIANTS = ("qemu", "risotto", "native")
 
-
-def _fill_buffer(memory) -> None:
-    for i in range(8192 // 8):
-        memory.store_word(DATA_BUF + 8 * i, (i * 2654435761) & 0xFFFF)
-
-
-#: benchmark name -> (function, args, calls, memory setup)
+#: benchmark name -> (function, args, calls, memory-setup name).
+#: The digest cases hash the pattern buffer the "digest-buffer" setup
+#: writes at DATA_BUF inside the worker.
 OPENSSL_CASES = {
-    "md5-1024": ("md5", (DATA_BUF, 1024), 4, _fill_buffer),
-    "md5-8192": ("md5", (DATA_BUF, 8192), 2, _fill_buffer),
-    "sha1-1024": ("sha1", (DATA_BUF, 1024), 4, _fill_buffer),
-    "sha1-8192": ("sha1", (DATA_BUF, 8192), 2, _fill_buffer),
-    "sha256-1024": ("sha256", (DATA_BUF, 1024), 3, _fill_buffer),
-    "sha256-8192": ("sha256", (DATA_BUF, 8192), 2, _fill_buffer),
+    "md5-1024": ("md5", (DATA_BUF, 1024), 4, "digest-buffer"),
+    "md5-8192": ("md5", (DATA_BUF, 8192), 2, "digest-buffer"),
+    "sha1-1024": ("sha1", (DATA_BUF, 1024), 4, "digest-buffer"),
+    "sha1-8192": ("sha1", (DATA_BUF, 8192), 2, "digest-buffer"),
+    "sha256-1024": ("sha256", (DATA_BUF, 1024), 3, "digest-buffer"),
+    "sha256-8192": ("sha256", (DATA_BUF, 8192), 2, "digest-buffer"),
     "rsa1024-sign": ("rsa1024_sign", (123457,), 2, None),
     "rsa1024-verify": ("rsa1024_verify", (123457,), 6, None),
     "rsa2048-sign": ("rsa2048_sign", (123457,), 2, None),
     "rsa2048-verify": ("rsa2048_verify", (123457,), 6, None),
+    # sqlite speedtest: mixed insert/select/update workload driven as
+    # repeated single-op calls over a small key set.
+    "sqlite": ("sqlite_exec", (0, 17, 99), 24, None),
 }
 
 
 @pytest.fixture(scope="module")
-def fig13_table() -> BenchTable:
-    table = BenchTable(name="figure13")
-    for bench, (fn, args, calls, setup) in OPENSSL_CASES.items():
-        for variant in VARIANTS:
-            outcome = run_library_workload(
-                fn, args, calls, variant, LIBRARY,
-                setup_memory=setup)
-            table.add(BenchRow(
-                benchmark=bench, variant=variant,
-                cycles=outcome.cycles, checksum=outcome.checksum))
-    # sqlite speedtest: mixed insert/select/update workload.
-    for variant in VARIANTS:
-        outcome = _run_sqlite(variant)
-        table.add(BenchRow(
-            benchmark="sqlite", variant=variant,
-            cycles=outcome.cycles, checksum=outcome.checksum))
-    return table
+def fig13_sweep():
+    specs = library_grid(OPENSSL_CASES, "standard", VARIANTS)
+    return run_parallel(specs)
 
 
-def _run_sqlite(variant: str):
-    # One insert + two selects + one update per key, via sqlite_exec.
-    # Keys vary per call through the accumulated counter, so we drive
-    # it as repeated single-op calls over a small key set.
-    return run_library_workload(
-        "sqlite_exec", (0, 17, 99), 24, variant, LIBRARY,
-        setup_memory=lambda memory: None)
+@pytest.fixture(scope="module")
+def fig13_table(fig13_sweep) -> BenchTable:
+    return BenchTable.from_rows("figure13", fig13_sweep)
 
 
-def test_figure13(benchmark, fig13_table, emit_report):
+def test_figure13(benchmark, fig13_sweep, fig13_table, emit_report):
     table = benchmark.pedantic(lambda: fig13_table, rounds=1,
                                iterations=1)
     report = speedup_report(
         table,
         "Figure 13 — OpenSSL + SQLite speedup over QEMU "
-        "(higher is better)")
+        "(higher is better)") + "\n" + \
+        run_stats_footer(fig13_sweep, "figure 13 harness stats")
     emit_report("figure13_openssl_sqlite", report)
 
     # --- correctness: linked and translated results agree -----------

@@ -4,17 +4,18 @@ Math calls are short, so argument marshaling is not amortized: Risotto
 beats QEMU by up to ~10× but stays clearly below native (the paper's
 explanation of the Figure 13/14 difference).  sqrt is the crossover
 case: one instruction either way, so the linker gains ~nothing.
+
+The (9 functions × 3 variants) sweep runs through the parallel
+harness with the libm library rebuilt by name inside each worker.
 """
 
 import struct
 
 import pytest
 
-from repro.analysis import BenchRow, BenchTable, speedup_report
-from repro.workloads import build_libm
-from repro.workloads.runner import run_library_workload
+from repro.analysis import BenchTable, run_stats_footer, speedup_report
+from repro.workloads import library_grid, run_parallel
 
-LIBRARY = build_libm()
 VARIANTS = ("qemu", "risotto", "native")
 FUNCTIONS = ("sqrt", "exp", "log", "cos", "sin", "tan",
              "acos", "asin", "atan")
@@ -25,26 +26,31 @@ def _bits(x: float) -> int:
     return struct.unpack("<Q", struct.pack("<d", x))[0]
 
 
+LIBM_CASES = {
+    fn: (fn, (_bits(0.5 if fn != "log" else 1.5),), CALLS, None)
+    for fn in FUNCTIONS
+}
+
+
 @pytest.fixture(scope="module")
-def fig14_table() -> BenchTable:
-    table = BenchTable(name="figure14")
-    for fn in FUNCTIONS:
-        arg = _bits(0.5 if fn != "log" else 1.5)
-        for variant in VARIANTS:
-            outcome = run_library_workload(
-                fn, (arg,), CALLS, variant, LIBRARY)
-            table.add(BenchRow(
-                benchmark=fn, variant=variant,
-                cycles=outcome.cycles, checksum=outcome.checksum))
-    return table
+def fig14_sweep():
+    specs = library_grid(LIBM_CASES, "libm", VARIANTS)
+    return run_parallel(specs)
 
 
-def test_figure14(benchmark, fig14_table, emit_report):
+@pytest.fixture(scope="module")
+def fig14_table(fig14_sweep) -> BenchTable:
+    return BenchTable.from_rows("figure14", fig14_sweep)
+
+
+def test_figure14(benchmark, fig14_sweep, fig14_table, emit_report):
     table = benchmark.pedantic(lambda: fig14_table, rounds=1,
                                iterations=1)
     report = speedup_report(
         table,
-        "Figure 14 — libm speedup over QEMU (higher is better)")
+        "Figure 14 — libm speedup over QEMU (higher is better)") \
+        + "\n" + run_stats_footer(fig14_sweep,
+                                  "figure 14 harness stats")
     emit_report("figure14_mathlib", report)
 
     # --- correctness --------------------------------------------------

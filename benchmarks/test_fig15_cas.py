@@ -4,37 +4,48 @@ Risotto's direct ``casal`` translation beats QEMU's helper call only
 without contention (#threads == #variables), by up to ~48%; under
 contention the cache-line transfer dominates and both converge — the
 paper's exact observation (Section 7.4).
+
+The (10 configurations × 3 variants) sweep runs through the parallel
+harness; throughput is recomputed from each row's elapsed cycles.
 """
 
 import pytest
 
-from repro.analysis import figure15_report
+from repro.analysis import run_stats_footer
+from repro.analysis.report import figure15_report
+from repro.workloads import cas_grid, run_parallel
 from repro.workloads.casbench import (
     FIGURE15_CONFIGS,
-    run_cas_benchmark,
-    throughput,
+    throughput_from_cycles,
 )
 
 VARIANTS = ("qemu", "risotto", "native")
 
+_CONFIG_BY_LABEL = {c.label: c for c in FIGURE15_CONFIGS}
+
 
 @pytest.fixture(scope="module")
-def fig15_series() -> dict:
+def fig15_sweep():
+    return run_parallel(cas_grid(FIGURE15_CONFIGS, VARIANTS))
+
+
+@pytest.fixture(scope="module")
+def fig15_series(fig15_sweep) -> dict:
     series: dict[str, list[tuple[str, float]]] = {
         v: [] for v in VARIANTS
     }
-    for config in FIGURE15_CONFIGS:
-        for variant in VARIANTS:
-            outcome = run_cas_benchmark(config, variant)
-            series[variant].append(
-                (config.label, throughput(config, outcome)))
+    for row in fig15_sweep:
+        config = _CONFIG_BY_LABEL[row.benchmark]
+        series[row.variant].append(
+            (row.benchmark, throughput_from_cycles(config, row.cycles)))
     return series
 
 
-def test_figure15(benchmark, fig15_series, emit_report):
+def test_figure15(benchmark, fig15_sweep, fig15_series, emit_report):
     series = benchmark.pedantic(lambda: fig15_series, rounds=1,
                                 iterations=1)
-    report = figure15_report(series)
+    report = figure15_report(series) + "\n" + \
+        run_stats_footer(fig15_sweep, "figure 15 harness stats")
     emit_report("figure15_cas", report)
 
     qemu = dict(series["qemu"])

@@ -3,86 +3,41 @@
 Ablates each fence class out of Risotto's mappings and reports which
 litmus tests break — the executable version of the Figures 8/9
 arguments ("each placed fence is necessary in some program").
+
+The ablations live in :mod:`repro.core.ablations` as a named registry
+so the parallel harness can ship each one to a worker as a string and
+rebuild the mapping closure in-process; the behaviour-cache hit/miss
+counters come back in the result rows.
 """
 
 import pytest
 
-from repro.core import ARM, TCG, X86, Fence
-from repro.core import litmus_library as L
-from repro.core import mappings as M
-from repro.core.verifier import ablate, drop_fences, drop_rmw_fence
-
-ABLATIONS = (
-    ("drop trailing Frm after loads",
-     lambda: drop_fences(M.risotto_x86_to_tcg,
-                         frozenset({Fence.FRM}), "frm"),
-     TCG),
-    ("drop leading Fww before stores",
-     lambda: drop_fences(M.risotto_x86_to_tcg,
-                         frozenset({Fence.FWW}), "fww"),
-     TCG),
-    ("drop leading DMBFF around RMW2",
-     lambda: M.risotto_x86_to_tcg.then(
-         drop_rmw_fence(M.risotto_tcg_to_arm_rmw2, leading=True,
-                        suffix="lead")),
-     ARM),
-    ("drop trailing DMBFF around RMW2",
-     lambda: M.risotto_x86_to_tcg.then(
-         drop_rmw_fence(M.risotto_tcg_to_arm_rmw2, leading=False,
-                        suffix="trail")),
-     ARM),
-    ("lower Frm to DMBST instead of DMBLD",
-     lambda: _miscompiled_frm(),
-     ARM),
-)
-
-
-def _miscompiled_frm():
-    """A deliberately wrong backend: read fences lowered to DMBST."""
-    from repro.core.mappings import OpMapping
-    from repro.core.program import FenceOp
-
-    base = M.risotto_x86_to_arm_rmw1
-
-    def weakened(op):
-        out = []
-        for mapped in base.map_op(op):
-            if isinstance(mapped, FenceOp) and \
-                    mapped.kind is Fence.DMBLD:
-                out.append(FenceOp(Fence.DMBST))
-            else:
-                out.append(mapped)
-        return tuple(out)
-
-    return OpMapping("risotto-frm-as-dmbst", base.src_arch,
-                     base.tgt_arch, weakened)
+from repro.analysis import run_stats_footer
+from repro.core.ablations import ABLATION_REGISTRY
+from repro.workloads import ablation_grid, run_parallel
 
 
 @pytest.fixture(scope="module")
-def ablation_results():
-    rows = []
-    for label, make_mapping, model in ABLATIONS:
-        result = ablate(L.X86_CORPUS, make_mapping(), X86, model, label)
-        rows.append(result)
-    return rows
+def ablation_sweep():
+    return run_parallel(ablation_grid(ABLATION_REGISTRY))
 
 
-def test_every_fence_is_necessary(benchmark, ablation_results,
+def test_every_fence_is_necessary(benchmark, ablation_sweep,
                                   emit_report):
-    rows = benchmark.pedantic(lambda: ablation_results, rounds=1,
-                              iterations=1)
+    sweep = benchmark.pedantic(lambda: ablation_sweep, rounds=1,
+                               iterations=1)
     lines = ["Minimality ablation — removing any Figure 7 fence class "
              "breaks the corpus",
              f"{'ablation':40s}broken tests"]
-    for result in rows:
-        lines.append(
-            f"{result.ablation:40s}{', '.join(result.broken_tests)}")
+    for row in sweep:
+        lines.append(f"{row.benchmark:40s}{', '.join(row.payload)}")
+    lines.append(run_stats_footer(sweep, "ablation harness stats"))
     emit_report("minimality_ablation", "\n".join(lines))
 
-    for result in rows:
-        assert result.fence_was_necessary, result.ablation
+    for row in sweep:
+        assert row.payload, f"{row.benchmark}: no test broke"
 
-    by_label = {r.ablation: set(r.broken_tests) for r in rows}
+    by_label = {row.benchmark: set(row.payload) for row in sweep}
     # Figure 8: ld-ld/ld-st order needs the trailing Frm.
     assert {"MP", "LB"} & by_label["drop trailing Frm after loads"]
     # Figure 8: st-st order needs the leading Fww.
@@ -91,3 +46,6 @@ def test_every_fence_is_necessary(benchmark, ablation_results,
     assert by_label["drop leading DMBFF around RMW2"]
     assert {"SBQ", "SBAL"} & \
         by_label["drop trailing DMBFF around RMW2"]
+    # Litmus enumeration ran in the workers: the cache counters came
+    # back through the observability layer.
+    assert any(row.cache_misses > 0 for row in sweep)

@@ -4,12 +4,13 @@ from .report import (
     figure12_report,
     figure15_report,
     mapping_table_report,
+    run_stats_footer,
     speedup_report,
 )
-from .stats import BenchRow, BenchTable
+from .stats import BenchRow, BenchTable, SweepStats, aggregate_sweep
 
 __all__ = [
-    "BenchRow", "BenchTable",
+    "BenchRow", "BenchTable", "SweepStats", "aggregate_sweep",
     "figure12_report", "figure15_report", "mapping_table_report",
-    "speedup_report",
+    "run_stats_footer", "speedup_report",
 ]

@@ -7,11 +7,50 @@ be compared side by side with the paper's Figures 12-15.
 
 from __future__ import annotations
 
-from .stats import BenchTable
+from .stats import BenchTable, SweepStats, aggregate_sweep
 
 
 def _fmt_pct(x: float) -> str:
     return f"{100 * x:6.1f}%"
+
+
+def run_stats_footer(sweep, title: str = "harness stats") -> str:
+    """The timing/observability footer every figure harness prints.
+
+    ``sweep`` is a :class:`~repro.workloads.parallel.SweepResult` (or
+    any iterable of result rows): per-run wall time, translation and
+    optimizer counters, fence-cycle share, and the behaviour-cache
+    hit/miss line when litmus enumeration was involved.
+    """
+    stats: SweepStats = aggregate_sweep(sweep)
+    lines = [
+        f"--- {title} " + "-" * max(1, 64 - len(title)),
+        f"runs: {stats.runs}   workers: {stats.workers}   "
+        f"wall: {stats.wall_seconds:.2f}s   "
+        f"sum of per-run wall: {stats.run_seconds:.2f}s",
+    ]
+    if stats.blocks_translated or stats.block_dispatches:
+        lines.append(
+            f"translated: {stats.blocks_translated} blocks / "
+            f"{stats.guest_insns_translated} guest insns   "
+            f"dispatches: {stats.block_dispatches} "
+            f"({_fmt_pct(stats.chain_rate).strip()} chained)   "
+            f"helper calls: {stats.helper_calls}")
+        lines.append(
+            f"optimizer: {stats.opt_folded} folded, "
+            f"{stats.opt_mem_eliminated} mem-eliminated, "
+            f"{stats.opt_fences_merged} fences merged, "
+            f"{stats.opt_dead_removed} dead ops removed")
+    if stats.total_cycles:
+        lines.append(
+            f"fence cycles: {_fmt_pct(stats.fence_share).strip()} "
+            f"of {stats.total_cycles} total cycles")
+    if stats.cache_hits or stats.cache_misses:
+        lines.append(
+            f"behavior cache: {stats.cache_hits} hits / "
+            f"{stats.cache_misses} misses "
+            f"({_fmt_pct(stats.cache_hit_rate).strip()} hit rate)")
+    return "\n".join(lines)
 
 
 def figure12_report(table: BenchTable) -> str:

@@ -41,6 +41,24 @@ class BenchTable:
     def add(self, row: BenchRow) -> None:
         self.rows[(row.benchmark, row.variant)] = row
 
+    @classmethod
+    def from_rows(cls, name: str, rows, baseline: str = "qemu",
+                  ) -> "BenchTable":
+        """Build a table from parallel-harness result rows (anything
+        with benchmark/variant/cycles/fence_cycles/total_cycles/
+        checksum attributes)."""
+        table = cls(name=name, baseline=baseline)
+        for row in rows:
+            table.add(BenchRow(
+                benchmark=row.benchmark,
+                variant=row.variant,
+                cycles=row.cycles,
+                fence_cycles=row.fence_cycles,
+                total_cycles=row.total_cycles,
+                checksum=row.checksum,
+            ))
+        return table
+
     # ------------------------------------------------------------------
     def benchmarks(self) -> list[str]:
         seen: dict[str, None] = {}
@@ -101,3 +119,71 @@ class BenchTable:
             if bench == benchmark and row.checksum is not None
         }
         return len(values) <= 1
+
+
+@dataclass
+class SweepStats:
+    """Observability aggregate over one sweep's result rows."""
+
+    runs: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    run_seconds: float = 0.0          # sum of per-run wall times
+    blocks_translated: int = 0
+    guest_insns_translated: int = 0
+    block_dispatches: int = 0
+    chained_dispatches: int = 0
+    helper_calls: int = 0
+    opt_folded: int = 0
+    opt_mem_eliminated: int = 0
+    opt_fences_merged: int = 0
+    opt_dead_removed: int = 0
+    fence_cycles: int = 0
+    total_cycles: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def fence_share(self) -> float:
+        if not self.total_cycles:
+            return 0.0
+        return self.fence_cycles / self.total_cycles
+
+    @property
+    def chain_rate(self) -> float:
+        if not self.block_dispatches:
+            return 0.0
+        return self.chained_dispatches / self.block_dispatches
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return 0.0
+        return self.cache_hits / lookups
+
+
+def aggregate_sweep(sweep) -> SweepStats:
+    """Fold a :class:`~repro.workloads.parallel.SweepResult` (or any
+    iterable of rows) into one :class:`SweepStats`."""
+    stats = SweepStats(
+        workers=getattr(sweep, "workers", 1),
+        wall_seconds=getattr(sweep, "wall_seconds", 0.0),
+    )
+    for row in sweep:
+        stats.runs += 1
+        stats.run_seconds += row.wall_seconds
+        stats.blocks_translated += row.blocks_translated
+        stats.guest_insns_translated += row.guest_insns_translated
+        stats.block_dispatches += row.block_dispatches
+        stats.chained_dispatches += row.chained_dispatches
+        stats.helper_calls += row.helper_calls
+        stats.opt_folded += row.opt_folded
+        stats.opt_mem_eliminated += row.opt_mem_eliminated
+        stats.opt_fences_merged += row.opt_fences_merged
+        stats.opt_dead_removed += row.opt_dead_removed
+        stats.fence_cycles += row.fence_cycles
+        stats.total_cycles += row.total_cycles
+        stats.cache_hits += row.cache_hits
+        stats.cache_misses += row.cache_misses
+    return stats

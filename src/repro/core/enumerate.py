@@ -340,6 +340,37 @@ def enumerate_executions(program: Program,
 _BEHAVIOR_CACHE: dict[tuple[Program, str], frozenset] = {}
 
 
+@dataclass
+class BehaviorCacheStats:
+    """Hit/miss counters for the behaviour memo (observability layer)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "BehaviorCacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+_CACHE_STATS = BehaviorCacheStats()
+
+
+def behavior_cache_stats() -> BehaviorCacheStats:
+    """A snapshot of the cache counters since the last reset."""
+    return BehaviorCacheStats(hits=_CACHE_STATS.hits,
+                              misses=_CACHE_STATS.misses)
+
+
 def consistent_executions(program: Program, model) -> list[Execution]:
     """All candidate executions consistent in ``model``."""
     return [
@@ -358,13 +389,18 @@ def behaviors(program: Program, model) -> frozenset:
     key = (program, model.name)
     cached = _BEHAVIOR_CACHE.get(key)
     if cached is None:
+        _CACHE_STATS.misses += 1
         cached = frozenset(
             ex.full_behavior for ex in consistent_executions(program, model)
         )
         _BEHAVIOR_CACHE[key] = cached
+    else:
+        _CACHE_STATS.hits += 1
     return cached
 
 
 def clear_behavior_cache() -> None:
     """Drop memoized behaviours (used by tests that tweak models)."""
     _BEHAVIOR_CACHE.clear()
+    _CACHE_STATS.hits = 0
+    _CACHE_STATS.misses = 0

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import ModelError
 from .enumerate import behaviors
 from .events import Fence, RmwFlavor
 from .litmus_library import LitmusTest, shows
@@ -98,6 +99,15 @@ def check_translation(source: Program, target: Program,
     src_keys = _behavior_keys(src_behs)
     tgt_keys = _behavior_keys(tgt_behs)
     common = src_keys & tgt_keys
+    if src_keys and tgt_keys and not common:
+        # With no shared observable, every target behaviour projects to
+        # the empty set and inclusion holds vacuously — a comparison of
+        # unrelated programs, never a proof of translation correctness.
+        raise ModelError(
+            f"{source.name} vs {target.name} ({mapping_name}): source "
+            f"and target share no behaviour keys; inclusion would pass "
+            f"vacuously"
+        )
 
     src_proj = frozenset(_project(b, common) for b in src_behs)
     new = frozenset(
@@ -198,15 +208,23 @@ def drop_fences(mapping: OpMapping, kinds: frozenset[Fence],
 
 def drop_rmw_fence(mapping: OpMapping, leading: bool,
                    suffix: str) -> OpMapping:
-    """Weaken only the DMBFF emitted around RMW lowerings."""
+    """Weaken only the DMBFF emitted around RMW lowerings.
+
+    Matching on the fence *kind* matters: a lowering may legitimately
+    start or end with some other fence, and ablating such a mapping
+    must not silently strip it instead of the DMBFF this weakening is
+    about.
+    """
 
     def weakened(op: Op) -> tuple[Op, ...]:
         mapped = list(mapping.map_op(op))
         if not isinstance(op, Rmw):
             return tuple(mapped)
-        if leading and mapped and isinstance(mapped[0], FenceOp):
+        if leading and mapped and isinstance(mapped[0], FenceOp) \
+                and mapped[0].kind is Fence.DMBFF:
             mapped = mapped[1:]
-        if not leading and mapped and isinstance(mapped[-1], FenceOp):
+        if not leading and mapped and isinstance(mapped[-1], FenceOp) \
+                and mapped[-1].kind is Fence.DMBFF:
             mapped = mapped[:-1]
         return tuple(mapped)
 

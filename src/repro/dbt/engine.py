@@ -110,12 +110,21 @@ class DBTEngine:
             labels[request.trap_label] = self._trap_for(
                 request.helper, request.arg_regs, request.ret_reg,
                 hint)
-        # Two-pass: measure at a dummy base, then place for real.
+        # Two-pass: measure at a dummy base, then place for real.  The
+        # allocation is sized by the probe, so a relocated encoding that
+        # drifts in length would overrun into the next block's cache
+        # slot — corrupting already-installed code silently.
         probe = assemble_arm(compiled.asm, base=0,
                              external_labels=labels)
         host_pc = self.runtime.alloc_code(len(probe.code))
         final = assemble_arm(compiled.asm, base=host_pc,
                              external_labels=labels)
+        if len(final.code) != len(probe.code):
+            raise TranslationError(
+                f"block @{compiled.guest_pc:#x}: relocated encoding is "
+                f"{len(final.code)} bytes but {len(probe.code)} were "
+                f"allocated from the probe pass"
+            )
         self.machine.memory.add_image(host_pc, final.code)
         return host_pc
 

@@ -1,5 +1,7 @@
 """Benchmark workloads: PARSEC/Phoenix kernels, library-bound
-applications (OpenSSL, SQLite, libm), and the CAS microbenchmark."""
+applications (OpenSSL, SQLite, libm), the CAS microbenchmark, and the
+parallel evaluation harness that fans the figure sweeps over a
+process pool."""
 
 from .kernels import ARRAY_BASE, KernelSpec, gen_arm_program, gen_x86_program
 from .libs import (
@@ -9,6 +11,14 @@ from .libs import (
     build_libsqlite,
     standard_libraries,
 )
+from .parallel import (
+    RunRow,
+    RunSpec,
+    SweepResult,
+    default_workers,
+    execute_spec,
+    run_parallel,
+)
 from .runner import (
     ALL_VARIANTS,
     NATIVE,
@@ -16,13 +26,25 @@ from .runner import (
     run_kernel,
     run_library_workload,
 )
-from .suites import ALL_SPECS, PARSEC_SPECS, PHOENIX_SPECS, SPEC_BY_NAME
+from .suites import (
+    ALL_SPECS,
+    PARSEC_SPECS,
+    PHOENIX_SPECS,
+    SPEC_BY_NAME,
+    ablation_grid,
+    cas_grid,
+    kernel_grid,
+    library_grid,
+)
 
 __all__ = [
     "ARRAY_BASE", "KernelSpec", "gen_arm_program", "gen_x86_program",
     "SQLITE_DB_BASE", "build_libcrypto", "build_libm", "build_libsqlite",
     "standard_libraries",
+    "RunRow", "RunSpec", "SweepResult", "default_workers",
+    "execute_spec", "run_parallel",
     "ALL_VARIANTS", "NATIVE", "WorkloadResult",
     "run_kernel", "run_library_workload",
     "ALL_SPECS", "PARSEC_SPECS", "PHOENIX_SPECS", "SPEC_BY_NAME",
+    "ablation_grid", "cas_grid", "kernel_grid", "library_grid",
 ]

@@ -10,6 +10,7 @@ dominates and the two converge (the paper's observation).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..dbt import DBTEngine, NativeRunner, VARIANTS
@@ -163,6 +164,7 @@ def run_cas_benchmark(config: CasConfig, variant: str,
                       costs: CostModel | None = None) -> WorkloadResult:
     """Run one Figure 15 configuration; throughput is
     ``config.total_ops / result.elapsed_cycles``."""
+    started = time.perf_counter()
     if variant == NATIVE:
         engine = NativeRunner(n_cores=config.threads, seed=seed,
                               costs=costs)
@@ -183,11 +185,19 @@ def run_cas_benchmark(config: CasConfig, variant: str,
     result = engine.run(entry, max_steps=200_000_000)
     return WorkloadResult(variant=variant, result=result,
                           checksum=result.output[0]
-                          if result.output else None)
+                          if result.output else None,
+                          wall_seconds=time.perf_counter() - started)
 
 
 def throughput(config: CasConfig, workload: WorkloadResult,
                cycles_per_second: float = 2.0e9) -> float:
     """CAS attempts per second at the paper's 2.0 GHz clock."""
-    cycles = max(1, workload.result.elapsed_cycles)
-    return config.total_ops * cycles_per_second / cycles
+    return throughput_from_cycles(config,
+                                  workload.result.elapsed_cycles,
+                                  cycles_per_second)
+
+
+def throughput_from_cycles(config: CasConfig, elapsed_cycles: int,
+                           cycles_per_second: float = 2.0e9) -> float:
+    """Throughput from a bare cycle count (parallel-harness rows)."""
+    return config.total_ops * cycles_per_second / max(1, elapsed_cycles)

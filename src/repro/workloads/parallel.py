@@ -1,0 +1,253 @@
+"""Parallel evaluation harness for the figure sweeps.
+
+The paper's evaluation is a large (benchmark × variant) grid and every
+run constructs its own fresh :class:`~repro.machine.scheduler.Machine`,
+so the sweep is embarrassingly parallel.  This module fans it out over
+a ``ProcessPoolExecutor``:
+
+* :class:`RunSpec` — a picklable description of one run (kernel spec /
+  library call / CAS config / litmus ablation, plus variant, seed,
+  costs and step budget).  Callables never cross the process boundary:
+  libraries and memory setups travel as registry names and are rebuilt
+  inside the worker.
+* :func:`execute_spec` — the worker entry point: builds the engine
+  in-process, runs it, and returns a flat, picklable :class:`RunRow`
+  that carries the figures' quantities *and* the observability
+  counters (wall time, translated blocks, optimizer work, fence share,
+  behaviour-cache hits/misses).
+* :func:`run_parallel` — the fan-out.  Results come back in submission
+  order whatever the completion order, and every run is seeded by its
+  spec, so the result table is bit-identical to a serial sweep and
+  independent of the worker count.
+
+The worker count comes from the ``workers`` argument, else the
+``REPRO_WORKERS`` environment variable, else ``os.cpu_count()``.
+``workers <= 1`` runs the specs serially in-process — the degenerate
+pool, used as the reference in determinism tests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.enumerate import behavior_cache_stats
+from ..errors import ReproError
+from ..machine.timing import CostModel
+from .casbench import CasConfig, run_cas_benchmark
+from .kernels import KernelSpec
+from .libs import build_libcrypto, build_libm, build_libsqlite, \
+    standard_libraries
+from .runner import WorkloadResult, run_kernel, run_library_workload
+
+#: Name -> zero-argument library factory, rebuilt inside each worker.
+LIBRARY_BUILDERS = {
+    "libm": build_libm,
+    "libcrypto": build_libcrypto,
+    "libsqlite": build_libsqlite,
+    "standard": standard_libraries,
+}
+
+#: Guest buffer the digest workloads hash (Figure 13's input data).
+DATA_BUF = 0x0220_0000
+
+
+def _fill_digest_buffer(memory) -> None:
+    for i in range(8192 // 8):
+        memory.store_word(DATA_BUF + 8 * i, (i * 2654435761) & 0xFFFF)
+
+
+#: Name -> memory-setup callable, applied before the run in the worker.
+MEMORY_SETUPS = {
+    "digest-buffer": _fill_digest_buffer,
+}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (benchmark × variant) run, serializable for the pool.
+
+    Exactly one of ``kernel``/``library_call``/``cas``/``ablation`` is
+    populated, selected by ``kind``.
+    """
+
+    kind: str                     # "kernel" | "library" | "cas" | "ablation"
+    benchmark: str
+    variant: str = "risotto"
+    seed: int = 7
+    max_steps: int = 80_000_000
+    costs: CostModel | None = None
+    # kind == "kernel"
+    kernel: KernelSpec | None = None
+    # kind == "library"
+    library: str | None = None    # LIBRARY_BUILDERS key
+    function: str | None = None
+    args: tuple[int, ...] = ()
+    calls: int = 0
+    setup: str | None = None      # MEMORY_SETUPS key
+    # kind == "cas"
+    cas: CasConfig | None = None
+    # kind == "ablation" (benchmark doubles as the registry key)
+    ablation: str | None = None
+
+
+@dataclass
+class RunRow:
+    """The picklable result of one run: figure data + observability."""
+
+    benchmark: str
+    variant: str
+    cycles: int = 0
+    fence_cycles: int = 0
+    total_cycles: int = 0
+    checksum: int | None = None
+    exit_code: int = 0
+    #: wall-clock seconds of the run itself (engine build + execute).
+    wall_seconds: float = 0.0
+    #: translated-block / dispatch counters from RunStats.
+    blocks_translated: int = 0
+    guest_insns_translated: int = 0
+    block_dispatches: int = 0
+    chained_dispatches: int = 0
+    helper_calls: int = 0
+    #: optimizer work from OptStats.
+    opt_folded: int = 0
+    opt_mem_eliminated: int = 0
+    opt_fences_merged: int = 0
+    opt_dead_removed: int = 0
+    #: behaviour-cache counters accumulated during the run (litmus
+    #: ablations; zero for machine workloads).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: kind-specific extras (e.g. broken litmus tests of an ablation).
+    payload: tuple = ()
+
+    @property
+    def fence_share(self) -> float:
+        if not self.total_cycles:
+            return 0.0
+        return self.fence_cycles / self.total_cycles
+
+
+def _row_from_workload(spec: RunSpec, outcome: WorkloadResult,
+                       wall: float) -> RunRow:
+    result = outcome.result
+    return RunRow(
+        benchmark=spec.benchmark,
+        variant=spec.variant,
+        cycles=result.elapsed_cycles,
+        fence_cycles=result.fence_cycles,
+        total_cycles=result.total_cycles,
+        checksum=outcome.checksum,
+        exit_code=result.exit_code,
+        wall_seconds=outcome.wall_seconds or wall,
+        blocks_translated=result.stats.blocks_translated,
+        guest_insns_translated=result.stats.guest_insns_translated,
+        block_dispatches=result.stats.block_dispatches,
+        chained_dispatches=result.stats.chained_dispatches,
+        helper_calls=result.stats.helper_calls,
+        opt_folded=result.opt_stats.folded,
+        opt_mem_eliminated=result.opt_stats.mem_eliminated,
+        opt_fences_merged=result.opt_stats.fences_merged,
+        opt_dead_removed=result.opt_stats.dead_removed,
+    )
+
+
+def _run_ablation(spec: RunSpec, started: float) -> RunRow:
+    from ..core.ablations import run_named_ablation
+
+    before = behavior_cache_stats()
+    result = run_named_ablation(spec.ablation or spec.benchmark)
+    after = behavior_cache_stats()
+    return RunRow(
+        benchmark=spec.benchmark,
+        variant=spec.variant,
+        wall_seconds=time.perf_counter() - started,
+        cache_hits=after.hits - before.hits,
+        cache_misses=after.misses - before.misses,
+        payload=tuple(result.broken_tests),
+    )
+
+
+def execute_spec(spec: RunSpec) -> RunRow:
+    """Worker entry point: build the engine in-process and run it."""
+    started = time.perf_counter()
+    if spec.kind == "kernel":
+        if spec.kernel is None:
+            raise ReproError(f"kernel spec missing for {spec.benchmark}")
+        outcome = run_kernel(spec.kernel, spec.variant, seed=spec.seed,
+                             costs=spec.costs, max_steps=spec.max_steps)
+    elif spec.kind == "library":
+        try:
+            library = LIBRARY_BUILDERS[spec.library]()
+        except KeyError:
+            raise ReproError(
+                f"unknown library {spec.library!r}; expected one of "
+                f"{sorted(LIBRARY_BUILDERS)}") from None
+        setup = MEMORY_SETUPS[spec.setup] if spec.setup else None
+        outcome = run_library_workload(
+            spec.function, spec.args, spec.calls, spec.variant, library,
+            setup_memory=setup, seed=spec.seed, costs=spec.costs,
+            max_steps=spec.max_steps)
+    elif spec.kind == "cas":
+        if spec.cas is None:
+            raise ReproError(f"cas config missing for {spec.benchmark}")
+        outcome = run_cas_benchmark(spec.cas, spec.variant,
+                                    seed=spec.seed, costs=spec.costs)
+    elif spec.kind == "ablation":
+        return _run_ablation(spec, started)
+    else:
+        raise ReproError(f"unknown run-spec kind {spec.kind!r}")
+    return _row_from_workload(spec, outcome,
+                              time.perf_counter() - started)
+
+
+def default_workers() -> int:
+    """The pool size: ``REPRO_WORKERS`` if set, else the CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ReproError(
+                f"REPRO_WORKERS={env!r} is not an integer") from None
+    return os.cpu_count() or 1
+
+
+@dataclass
+class SweepResult:
+    """All rows of one sweep plus harness-level observability."""
+
+    rows: list[RunRow] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_parallel(specs, workers: int | None = None) -> SweepResult:
+    """Execute every spec, fanning out over a process pool.
+
+    Rows come back in the order of ``specs`` regardless of completion
+    order, and each run is fully determined by its spec (fresh machine,
+    spec-owned seed), so the result table is identical for any worker
+    count — the determinism contract the figure harnesses rely on.
+    """
+    specs = list(specs)
+    workers = default_workers() if workers is None else max(1, workers)
+    workers = min(workers, len(specs)) or 1
+    started = time.perf_counter()
+    if workers == 1:
+        rows = [execute_spec(spec) for spec in specs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            rows = list(pool.map(execute_spec, specs))
+    return SweepResult(rows=rows,
+                       wall_seconds=time.perf_counter() - started,
+                       workers=workers)

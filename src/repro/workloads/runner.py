@@ -9,6 +9,7 @@ harness consumes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..dbt import DBTEngine, NativeRunner, RunResult, VARIANTS
@@ -29,6 +30,9 @@ class WorkloadResult:
     variant: str
     result: RunResult
     checksum: int | None
+    #: wall-clock seconds of engine construction + execution (the
+    #: observability layer's per-run timing).
+    wall_seconds: float = 0.0
 
     @property
     def cycles(self) -> int:
@@ -55,6 +59,7 @@ def run_kernel(spec: KernelSpec, variant: str,
                seed: int = 7, costs: CostModel | None = None,
                max_steps: int = 80_000_000) -> WorkloadResult:
     """Run one PARSEC/Phoenix kernel under a variant (or natively)."""
+    started = time.perf_counter()
     n_cores = spec.threads
     engine = _make_engine(variant, n_cores, seed, costs)
     if variant == NATIVE:
@@ -69,7 +74,8 @@ def run_kernel(spec: KernelSpec, variant: str,
     result = engine.run(entry, max_steps=max_steps)
     checksum = result.output[0] if result.output else None
     return WorkloadResult(variant=variant, result=result,
-                          checksum=checksum)
+                          checksum=checksum,
+                          wall_seconds=time.perf_counter() - started)
 
 
 # ----------------------------------------------------------------------
@@ -117,6 +123,7 @@ def run_library_workload(function_name: str, args: tuple[int, ...],
     * ``native`` runs an Arm caller loop invoking the host function
       directly — no marshaling, the Figure 13/14 reference.
     """
+    started = time.perf_counter()
     function = library[function_name]
     engine = _make_engine(variant, 1, seed, costs)
     memory = engine.machine.memory
@@ -167,7 +174,8 @@ nloop:
     result = engine.run(entry, max_steps=max_steps)
     checksum = result.output[0] if result.output else None
     return WorkloadResult(variant=variant, result=result,
-                          checksum=checksum)
+                          checksum=checksum,
+                          wall_seconds=time.perf_counter() - started)
 
 
 def _native_arg_reg(index: int) -> str:

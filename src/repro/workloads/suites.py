@@ -59,3 +59,77 @@ PHOENIX_SPECS: tuple[KernelSpec, ...] = (
 ALL_SPECS: tuple[KernelSpec, ...] = PARSEC_SPECS + PHOENIX_SPECS
 
 SPEC_BY_NAME: dict[str, KernelSpec] = {s.name: s for s in ALL_SPECS}
+
+
+# ----------------------------------------------------------------------
+# (benchmark × variant) grids for the parallel harness
+# ----------------------------------------------------------------------
+def kernel_grid(specs: tuple[KernelSpec, ...] = ALL_SPECS,
+                variants: tuple[str, ...] = ("qemu", "no-fences",
+                                             "tcg-ver", "risotto",
+                                             "native"),
+                *, iterations: int | None = None, seed: int = 7,
+                max_steps: int = 80_000_000):
+    """The Figure 12 sweep as :class:`~.parallel.RunSpec` rows.
+
+    Row order is (benchmark-major, variant-minor) — the order the
+    figure tables print in and the order ``run_parallel`` returns.
+    """
+    from dataclasses import replace
+
+    from .parallel import RunSpec
+
+    grid = []
+    for spec in specs:
+        sized = spec if iterations is None \
+            else replace(spec, iterations=iterations)
+        for variant in variants:
+            grid.append(RunSpec(
+                kind="kernel", benchmark=spec.name, variant=variant,
+                seed=seed, max_steps=max_steps, kernel=sized,
+            ))
+    return tuple(grid)
+
+
+def library_grid(cases: dict, library: str,
+                 variants: tuple[str, ...] = ("qemu", "risotto",
+                                              "native"),
+                 *, seed: int = 7, max_steps: int = 80_000_000):
+    """Figure 13/14-style sweeps: ``cases`` maps a benchmark label to
+    ``(function, args, calls, setup-name-or-None)``."""
+    from .parallel import RunSpec
+
+    grid = []
+    for bench, (function, args, calls, setup) in cases.items():
+        for variant in variants:
+            grid.append(RunSpec(
+                kind="library", benchmark=bench, variant=variant,
+                seed=seed, max_steps=max_steps, library=library,
+                function=function, args=tuple(args), calls=calls,
+                setup=setup,
+            ))
+    return tuple(grid)
+
+
+def cas_grid(configs, variants: tuple[str, ...] = ("qemu", "risotto",
+                                                   "native"),
+             *, seed: int = 7):
+    """The Figure 15 sweep: every (CAS config × variant) pair."""
+    from .parallel import RunSpec
+
+    return tuple(
+        RunSpec(kind="cas", benchmark=config.label, variant=variant,
+                seed=seed, cas=config)
+        for config in configs for variant in variants
+    )
+
+
+def ablation_grid(labels):
+    """Minimality ablations (Figures 8-9) as parallelizable specs."""
+    from .parallel import RunSpec
+
+    return tuple(
+        RunSpec(kind="ablation", benchmark=label, variant="ablation",
+                ablation=label)
+        for label in labels
+    )

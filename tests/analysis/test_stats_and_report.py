@@ -5,11 +5,14 @@ import pytest
 from repro.analysis import (
     BenchRow,
     BenchTable,
+    aggregate_sweep,
     figure12_report,
     figure15_report,
     mapping_table_report,
+    run_stats_footer,
     speedup_report,
 )
+from repro.workloads import RunRow, SweepResult
 
 
 @pytest.fixture
@@ -89,3 +92,80 @@ class TestReports:
         for needle in ("Figure 2", "Figure 3", "Figure 7",
                        "DMBST; STR", "RMW1_AL"):
             assert needle in text
+
+
+class TestSweepAggregation:
+    @pytest.fixture
+    def sweep(self):
+        rows = [
+            RunRow(benchmark="alpha", variant="qemu", cycles=1000,
+                   fence_cycles=400, total_cycles=1000, checksum=7,
+                   wall_seconds=0.5, blocks_translated=10,
+                   guest_insns_translated=100, block_dispatches=40,
+                   chained_dispatches=30, helper_calls=5,
+                   opt_folded=3, opt_mem_eliminated=2,
+                   opt_fences_merged=1, opt_dead_removed=4),
+            RunRow(benchmark="alpha", variant="risotto", cycles=800,
+                   fence_cycles=100, total_cycles=1000, checksum=7,
+                   wall_seconds=0.25, blocks_translated=12,
+                   guest_insns_translated=120, block_dispatches=50,
+                   chained_dispatches=45, helper_calls=2,
+                   cache_hits=6, cache_misses=2),
+        ]
+        return SweepResult(rows=rows, wall_seconds=0.6, workers=3)
+
+    def test_aggregate_sweep(self, sweep):
+        stats = aggregate_sweep(sweep)
+        assert stats.runs == 2
+        assert stats.workers == 3
+        assert stats.wall_seconds == 0.6
+        assert stats.run_seconds == pytest.approx(0.75)
+        assert stats.blocks_translated == 22
+        assert stats.guest_insns_translated == 220
+        assert stats.block_dispatches == 90
+        assert stats.chained_dispatches == 75
+        assert stats.helper_calls == 7
+        assert stats.opt_folded == 3
+        assert stats.fence_cycles == 500
+        assert stats.total_cycles == 2000
+        assert stats.fence_share == pytest.approx(0.25)
+        assert stats.chain_rate == pytest.approx(75 / 90)
+        assert stats.cache_hit_rate == pytest.approx(0.75)
+
+    def test_aggregate_bare_iterable(self, sweep):
+        # Plain lists of rows work too: workers/wall default.
+        stats = aggregate_sweep(list(sweep))
+        assert stats.runs == 2
+        assert stats.workers == 1
+        assert stats.wall_seconds == 0.0
+
+    def test_empty_stats_rates_are_zero(self):
+        stats = aggregate_sweep([])
+        assert stats.fence_share == 0.0
+        assert stats.chain_rate == 0.0
+        assert stats.cache_hit_rate == 0.0
+
+    def test_from_rows_builds_table(self, sweep):
+        table = BenchTable.from_rows("fig", sweep)
+        assert table.benchmarks() == ["alpha"]
+        assert table.relative_runtime("alpha", "risotto") == \
+            pytest.approx(0.8)
+        assert table.checksums_consistent("alpha")
+
+    def test_footer_renders_all_sections(self, sweep):
+        text = run_stats_footer(sweep, "unit-test stats")
+        assert "--- unit-test stats" in text
+        assert "runs: 2   workers: 3" in text
+        assert "translated: 22 blocks / 220 guest insns" in text
+        assert "optimizer: 3 folded" in text
+        assert "fence cycles:" in text
+        assert "behavior cache: 6 hits / 2 misses" in text
+
+    def test_footer_elides_empty_sections(self):
+        rows = [RunRow(benchmark="a", variant="ablation",
+                       wall_seconds=0.1)]
+        text = run_stats_footer(rows)
+        assert "harness stats" in text
+        assert "translated:" not in text
+        assert "fence cycles:" not in text
+        assert "behavior cache:" not in text

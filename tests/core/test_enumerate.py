@@ -4,7 +4,10 @@ import pytest
 
 from repro.core import SC, TCG, X86, Arch, Fence, Mode, RmwFlavor
 from repro.core.enumerate import (
+    DEFAULT_CANDIDATE_LIMIT,
+    behavior_cache_stats,
     behaviors,
+    clear_behavior_cache,
     consistent_executions,
     enumerate_executions,
     location_domains,
@@ -34,6 +37,26 @@ class TestLocationDomains:
         prog = x86("p", (W("Y", 3),), (R("a", "Y"), Store("X", "a")))
         domains = location_domains(prog)
         assert 3 in domains["X"] and 0 in domains["X"]
+
+    def test_register_store_chain_reaches_fixpoint(self):
+        # Value 3 must flow Y -> X -> Z through two reg-valued stores,
+        # which a single widening pass would miss: T2 reads X before
+        # X's domain has absorbed Y's constant.
+        prog = x86(
+            "chain",
+            (W("Y", 3),),
+            (R("a", "Y"), Store("X", "a")),
+            (R("b", "X"), Store("Z", "b")),
+        )
+        domains = location_domains(prog)
+        assert domains["Y"] == {0, 3}
+        # Both reg-valued stores absorb the whole value universe.
+        assert domains["X"] == {0, 3}
+        assert domains["Z"] == {0, 3}
+        # The widened program still enumerates within the default
+        # candidate budget.
+        execs = list(enumerate_executions(prog))
+        assert 0 < len(execs) <= DEFAULT_CANDIDATE_LIMIT
 
 
 class TestThreadTraces:
@@ -173,3 +196,36 @@ class TestBehaviorCache:
     def test_cache_stable(self):
         prog = x86("p", (W("X", 1),), (R("a", "X"),))
         assert behaviors(prog, X86) is behaviors(prog, X86)
+
+    def test_stats_count_hits_and_misses(self):
+        clear_behavior_cache()
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        behaviors(prog, X86)
+        behaviors(prog, X86)
+        behaviors(prog, SC)
+        stats = behavior_cache_stats()
+        assert stats.misses == 2
+        assert stats.hits == 1
+        assert stats.lookups == 3
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_clear_resets_stats(self):
+        prog = x86("p", (W("X", 1),))
+        behaviors(prog, X86)
+        clear_behavior_cache()
+        stats = behavior_cache_stats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+    def test_stats_snapshot_and_merge(self):
+        clear_behavior_cache()
+        prog = x86("p", (W("X", 1),))
+        behaviors(prog, X86)
+        snap = behavior_cache_stats()
+        behaviors(prog, X86)
+        # The snapshot is detached from the live counters.
+        assert snap.hits == 0
+        merged = behavior_cache_stats()
+        merged.merge(snap)
+        assert merged.misses == 2
+        assert merged.hits == 1

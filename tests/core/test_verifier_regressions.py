@@ -1,0 +1,99 @@
+"""Regression tests for verifier correctness fixes.
+
+Two bugs fixed here:
+
+* ``drop_rmw_fence`` stripped *any* leading/trailing fence from an RMW
+  lowering, although its contract is to weaken only the DMBFF — a
+  mapping with some other boundary fence was silently mis-weakened.
+* ``check_translation`` passed vacuously when source and target share
+  no behaviour keys: every target behaviour projects to the empty set
+  and inclusion trivially holds.
+"""
+
+import pytest
+
+from repro.core import ARM, X86
+from repro.core.enumerate import clear_behavior_cache
+from repro.core.events import Arch, Fence, RmwFlavor
+from repro.core.litmus_library import R, W, x86
+from repro.core.mappings import OpMapping, risotto_tcg_to_arm_rmw2
+from repro.core.program import FenceOp, Program, Rmw
+from repro.core.verifier import check_translation, drop_rmw_fence
+from repro.errors import ModelError
+
+TCG_RMW = Rmw("X", 0, 1, RmwFlavor.TCG, out="r")
+
+
+def _mapping_with_boundary_fences(lead: Fence, trail: Fence) -> OpMapping:
+    """A TCG→Arm mapping whose RMW lowering is fence-bracketed."""
+
+    def map_op(op):
+        if isinstance(op, Rmw):
+            return (
+                FenceOp(lead),
+                Rmw(op.loc, op.expect, op.new, RmwFlavor.LXSX,
+                    out=op.out),
+                FenceOp(trail),
+            )
+        return (op,)
+
+    return OpMapping("bracketed", Arch.TCG, Arch.ARM, map_op)
+
+
+class TestDropRmwFenceMatchesKind:
+    def test_leading_non_dmbff_fence_survives(self):
+        mapping = _mapping_with_boundary_fences(Fence.DMBLD,
+                                                Fence.DMBFF)
+        weakened = drop_rmw_fence(mapping, leading=True, suffix="lead")
+        lowered = weakened.map_op(TCG_RMW)
+        # The DMBLD is not the fence this weakening ablates: it stays.
+        assert isinstance(lowered[0], FenceOp)
+        assert lowered[0].kind is Fence.DMBLD
+
+    def test_trailing_non_dmbff_fence_survives(self):
+        mapping = _mapping_with_boundary_fences(Fence.DMBFF,
+                                                Fence.DMBST)
+        weakened = drop_rmw_fence(mapping, leading=False,
+                                  suffix="trail")
+        lowered = weakened.map_op(TCG_RMW)
+        assert isinstance(lowered[-1], FenceOp)
+        assert lowered[-1].kind is Fence.DMBST
+
+    def test_dmbff_is_still_dropped(self):
+        weakened_lead = drop_rmw_fence(risotto_tcg_to_arm_rmw2,
+                                       leading=True, suffix="lead")
+        lowered = weakened_lead.map_op(TCG_RMW)
+        assert isinstance(lowered[0], Rmw)          # leading FF gone
+        assert lowered[-1].kind is Fence.DMBFF      # trailing FF kept
+
+        weakened_trail = drop_rmw_fence(risotto_tcg_to_arm_rmw2,
+                                        leading=False, suffix="trail")
+        lowered = weakened_trail.map_op(TCG_RMW)
+        assert lowered[0].kind is Fence.DMBFF       # leading FF kept
+        assert isinstance(lowered[-1], Rmw)         # trailing FF gone
+
+    def test_non_rmw_ops_untouched(self):
+        mapping = _mapping_with_boundary_fences(Fence.DMBFF,
+                                                Fence.DMBFF)
+        weakened = drop_rmw_fence(mapping, leading=True, suffix="lead")
+        load = R("a", "X")
+        assert weakened.map_op(load) == (load,)
+
+
+class TestVacuousTranslationCheck:
+    def setup_method(self):
+        clear_behavior_cache()
+
+    def test_disjoint_behavior_keys_raise(self):
+        source = x86("src", (W("X", 1), R("a", "X")))
+        target = Program("tgt", Arch.ARM, ((W("Y", 1), R("b", "Y")),))
+        with pytest.raises(ModelError, match="no behaviour keys"):
+            check_translation(source, target, X86, ARM,
+                              mapping_name="disjoint")
+
+    def test_shared_keys_still_verify(self):
+        source = x86("src", (W("X", 1), R("a", "X")))
+        target = Program("tgt", Arch.ARM, ((W("X", 1), R("a", "X")),))
+        verdict = check_translation(source, target, X86, ARM,
+                                    mapping_name="same")
+        assert verdict.ok

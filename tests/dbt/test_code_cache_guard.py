@@ -1,0 +1,52 @@
+"""Regression test: the code cache detects probe/final length drift.
+
+``DBTEngine._install`` assembles each block twice — once at a dummy
+base to size the allocation, once at the real base.  If a relocated
+encoding changed length between the passes, the block would overrun
+its cache slot and silently corrupt the next installed block.  The
+engine must refuse to install such a block instead.
+"""
+
+import pytest
+
+import repro.dbt.engine as engine_mod
+from repro.dbt import DBTEngine
+from repro.errors import TranslationError
+from repro.isa.arm.assembler import assemble as real_assemble
+from repro.isa.x86 import assemble as assemble_x86
+
+CODE_BASE = 0x400000
+
+GUEST = """
+main:
+  mov rdi, 0
+  mov rax, 60
+  syscall
+"""
+
+
+def _run_guest():
+    assembly = assemble_x86(GUEST, base=CODE_BASE)
+    engine = DBTEngine(n_cores=1)
+    engine.load_image(assembly.base, assembly.code)
+    return engine.run(assembly.base)
+
+
+def test_drifting_assembler_is_rejected(monkeypatch):
+    def drifting_assemble(asm, base=0, external_labels=None):
+        result = real_assemble(asm, base=base,
+                               external_labels=external_labels)
+        if base != 0:
+            # Pretend relocation grew the encoding past the probe.
+            result.code = result.code + b"\x00\x00\x00\x00"
+        return result
+
+    monkeypatch.setattr(engine_mod, "assemble_arm", drifting_assemble)
+    with pytest.raises(TranslationError, match="probe pass"):
+        _run_guest()
+
+
+def test_stable_assembler_still_installs():
+    result = _run_guest()
+    assert result.exit_code == 0
+    assert result.stats.blocks_translated > 0

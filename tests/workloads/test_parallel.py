@@ -1,0 +1,174 @@
+"""Tests for the parallel evaluation harness.
+
+The core contract: a sweep's result rows are bit-identical for any
+worker count and come back in submission order, because every run
+builds a fresh machine seeded by its own spec.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workloads import (
+    RunSpec,
+    SweepResult,
+    ablation_grid,
+    cas_grid,
+    default_workers,
+    execute_spec,
+    kernel_grid,
+    library_grid,
+    run_parallel,
+)
+from repro.workloads.casbench import CasConfig
+from repro.workloads.kernels import KernelSpec
+from repro.workloads.parallel import LIBRARY_BUILDERS
+
+#: A tiny kernel so each worker run stays under a second.
+TINY = KernelSpec("tiny", loads=2, stores=1, alu=2, fp=1,
+                  iterations=40, threads=2, working_set=64)
+
+
+class TestRunSpec:
+    def test_pickle_roundtrip(self):
+        grid = kernel_grid((TINY,), ("qemu", "risotto"))
+        for spec in grid:
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+
+    def test_kernel_grid_order_is_benchmark_major(self):
+        other = dataclasses.replace(TINY, name="other")
+        grid = kernel_grid((TINY, other), ("qemu", "risotto"))
+        assert [(s.benchmark, s.variant) for s in grid] == [
+            ("tiny", "qemu"), ("tiny", "risotto"),
+            ("other", "qemu"), ("other", "risotto"),
+        ]
+
+    def test_library_grid_carries_case_fields(self):
+        cases = {"exp-small": ("exp", (7,), 3, None)}
+        (spec,) = library_grid(cases, "libm", ("risotto",))
+        assert spec.kind == "library"
+        assert spec.library == "libm"
+        assert spec.function == "exp"
+        assert spec.args == (7,)
+        assert spec.calls == 3
+
+
+class TestExecuteSpec:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ReproError, match="unknown run-spec kind"):
+            execute_spec(RunSpec(kind="nonsense", benchmark="x"))
+
+    def test_unknown_library_raises(self):
+        spec = RunSpec(kind="library", benchmark="x", library="libzzz",
+                       function="exp", args=(1,), calls=1)
+        with pytest.raises(ReproError, match="unknown library"):
+            execute_spec(spec)
+
+    def test_missing_kernel_raises(self):
+        with pytest.raises(ReproError, match="kernel spec missing"):
+            execute_spec(RunSpec(kind="kernel", benchmark="x"))
+
+    def test_kernel_row_carries_observability(self):
+        (spec,) = kernel_grid((TINY,), ("risotto",))
+        row = execute_spec(spec)
+        assert row.benchmark == "tiny"
+        assert row.variant == "risotto"
+        assert row.cycles > 0
+        assert row.wall_seconds > 0
+        assert row.blocks_translated > 0
+        assert row.block_dispatches >= row.blocks_translated
+        assert 0.0 <= row.fence_share < 1.0
+
+    def test_library_registries_cover_figure_needs(self):
+        assert {"libm", "libcrypto", "libsqlite", "standard"} <= \
+            set(LIBRARY_BUILDERS)
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return kernel_grid((TINY,),
+                           ("qemu", "tcg-ver", "risotto", "native"))
+
+    @pytest.fixture(scope="class")
+    def serial(self, grid):
+        return run_parallel(grid, workers=1)
+
+    def test_serial_pool_is_degenerate(self, serial, grid):
+        assert serial.workers == 1
+        assert len(serial) == len(grid)
+
+    def test_worker_count_does_not_change_rows(self, serial, grid):
+        fanned = run_parallel(grid, workers=3)
+        assert fanned.workers == 3
+        for left, right in zip(serial, fanned):
+            # wall_seconds is the one legitimately noisy field.
+            assert dataclasses.replace(left, wall_seconds=0.0) == \
+                dataclasses.replace(right, wall_seconds=0.0)
+
+    def test_rows_follow_submission_order(self, serial, grid):
+        assert [(r.benchmark, r.variant) for r in serial] == \
+            [(s.benchmark, s.variant) for s in grid]
+
+    def test_repeated_sweeps_are_identical(self, serial, grid):
+        again = run_parallel(grid, workers=1)
+        for left, right in zip(serial, again):
+            assert dataclasses.replace(left, wall_seconds=0.0) == \
+                dataclasses.replace(right, wall_seconds=0.0)
+
+
+class TestWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert default_workers() == 5
+
+    def test_env_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert default_workers() == 1
+
+    def test_env_garbage_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ReproError, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_unset_uses_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() >= 1
+
+    def test_pool_clamped_to_spec_count(self):
+        grid = kernel_grid((TINY,), ("risotto",))
+        sweep = run_parallel(grid, workers=8)
+        assert sweep.workers == 1  # one spec -> degenerate pool
+
+    def test_empty_sweep(self):
+        sweep = run_parallel((), workers=4)
+        assert len(sweep) == 0
+        assert isinstance(sweep, SweepResult)
+
+
+class TestOtherKinds:
+    def test_cas_rows(self):
+        config = CasConfig(threads=2, variables=2, attempts=30)
+        sweep = run_parallel(cas_grid((config,), ("qemu", "risotto")),
+                             workers=2)
+        rows = list(sweep)
+        assert [r.variant for r in rows] == ["qemu", "risotto"]
+        assert all(r.cycles > 0 for r in rows)
+        assert all(r.benchmark == "2-2" for r in rows)
+
+    def test_ablation_rows_carry_cache_stats(self):
+        label = "drop trailing Frm after loads"
+        sweep = run_parallel(ablation_grid((label,)), workers=1)
+        (row,) = list(sweep)
+        assert row.benchmark == label
+        assert row.payload, "ablation should break litmus tests"
+        assert row.cache_misses > 0
+
+    def test_unknown_ablation_label(self):
+        from repro.errors import ModelError
+        sweep_specs = ablation_grid(("no such ablation",))
+        with pytest.raises(ModelError):
+            run_parallel(sweep_specs, workers=1)
