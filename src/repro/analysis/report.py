@@ -46,10 +46,22 @@ def run_stats_footer(sweep, title: str = "harness stats") -> str:
             f"fence cycles: {_fmt_pct(stats.fence_share).strip()} "
             f"of {stats.total_cycles} total cycles")
     if stats.cache_hits or stats.cache_misses:
-        lines.append(
+        line = (
             f"behavior cache: {stats.cache_hits} hits / "
             f"{stats.cache_misses} misses "
             f"({_fmt_pct(stats.cache_hit_rate).strip()} hit rate)")
+        if stats.cache_disk_hits or stats.cache_disk_misses:
+            line += (f"   disk: {stats.cache_disk_hits} hits / "
+                     f"{stats.cache_disk_misses} misses")
+        lines.append(line)
+    if stats.enum_candidates_naive:
+        lines.append(
+            f"staged enumeration: {stats.enum_executions} of "
+            f"{stats.enum_candidates_naive} naive candidates "
+            f"materialized "
+            f"({_fmt_pct(stats.enum_pruned_fraction).strip()} pruned; "
+            f"{stats.enum_rf_pruned} rf options pruned, "
+            f"{stats.enum_rf_rejected} rf choices rejected)")
     return "\n".join(lines)
 
 

@@ -142,6 +142,12 @@ class SweepStats:
     total_cycles: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_disk_hits: int = 0
+    cache_disk_misses: int = 0
+    enum_candidates_naive: int = 0
+    enum_executions: int = 0
+    enum_rf_pruned: int = 0
+    enum_rf_rejected: int = 0
 
     @property
     def fence_share(self) -> float:
@@ -161,6 +167,14 @@ class SweepStats:
         if not lookups:
             return 0.0
         return self.cache_hits / lookups
+
+    @property
+    def enum_pruned_fraction(self) -> float:
+        """Share of the naive rf × co product never materialized by the
+        staged enumerator."""
+        if not self.enum_candidates_naive:
+            return 0.0
+        return 1.0 - self.enum_executions / self.enum_candidates_naive
 
 
 def aggregate_sweep(sweep) -> SweepStats:
@@ -186,4 +200,13 @@ def aggregate_sweep(sweep) -> SweepStats:
         stats.total_cycles += row.total_cycles
         stats.cache_hits += row.cache_hits
         stats.cache_misses += row.cache_misses
+        # getattr-with-default: older row shapes (plain BenchRow-likes
+        # in tests) predate the staged-enumeration counters.
+        stats.cache_disk_hits += getattr(row, "cache_disk_hits", 0)
+        stats.cache_disk_misses += getattr(row, "cache_disk_misses", 0)
+        stats.enum_candidates_naive += getattr(
+            row, "enum_candidates_naive", 0)
+        stats.enum_executions += getattr(row, "enum_executions", 0)
+        stats.enum_rf_pruned += getattr(row, "enum_rf_pruned", 0)
+        stats.enum_rf_rejected += getattr(row, "enum_rf_rejected", 0)
     return stats

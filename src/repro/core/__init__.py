@@ -12,7 +12,8 @@ from .events import Arch, Event, Fence, Mode, RmwFlavor
 from .execution import Execution
 from .program import FenceOp, If, Load, Program, Rmw, Store
 from .relations import Rel
-from .enumerate import behaviors, consistent_executions, enumerate_executions
+from .enumerate import behaviors, consistent_executions, \
+    enumerate_consistent, enumerate_executions
 from .models import ARM, ARM_ORIGINAL, SC, TCG, X86
 from . import litmus_library, mappings, transforms, verifier
 
@@ -20,7 +21,8 @@ __all__ = [
     "Arch", "Event", "Fence", "Mode", "RmwFlavor",
     "Execution", "Rel",
     "FenceOp", "If", "Load", "Program", "Rmw", "Store",
-    "behaviors", "consistent_executions", "enumerate_executions",
+    "behaviors", "consistent_executions", "enumerate_consistent",
+    "enumerate_executions",
     "ARM", "ARM_ORIGINAL", "SC", "TCG", "X86",
     "litmus_library", "mappings", "transforms", "verifier",
 ]

@@ -1,0 +1,167 @@
+"""Persistent behaviour cache keyed by content fingerprints.
+
+``behaviors(program, model)`` is pure: the behaviour set is a function
+of the program text, the model definition, and the enumeration code.
+This module captures that identity as a sha256 fingerprint and memoizes
+the result on disk, so repeated sweeps — and the ``run_parallel``
+workers, which each start with a cold in-process memo — share one
+store instead of re-enumerating the same litmus programs.
+
+Key structure (any change misses, never corrupts):
+
+* **program** — architecture, initial values and thread bodies, via the
+  canonical ``repr`` of the (frozen) op dataclasses.  The program *name*
+  is excluded: two differently-named but identical programs share
+  behaviours.
+* **model** — :meth:`~repro.core.models.base.MemoryModel.fingerprint`,
+  covering class identity, class source and instance configuration.
+* **code salt** — a digest of the source of every module the behaviour
+  computation flows through, so editing the enumerator or an axiom
+  invalidates every stale entry instead of silently serving it.
+
+Entries are JSON files written atomically (temp file + ``os.replace``),
+making concurrent writers from a process pool safe: last writer wins
+with identical content.
+
+Configuration via ``REPRO_BEHAVIOR_CACHE``: unset uses
+``<cwd>/.repro-cache/behaviors``; a path overrides the directory; ``0``
+or ``off`` disables the disk layer entirely (the in-process memo in
+:mod:`repro.core.enumerate` still applies).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+ENV_VAR = "REPRO_BEHAVIOR_CACHE"
+_OFF_VALUES = frozenset({"0", "off", "none", "disabled"})
+
+#: Lazily computed digest of the behaviour-computation source.
+_CODE_SALT: str | None = None
+
+
+def _code_salt() -> str:
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        import inspect
+
+        from . import axioms, enumerate as enum_mod, events, execution, \
+            program, relations
+        from .models import armcats, base, tcg, x86tso
+
+        hasher = hashlib.sha256()
+        for module in (enum_mod, relations, execution, axioms, events,
+                       program, base, x86tso, armcats, tcg):
+            try:
+                hasher.update(inspect.getsource(module).encode())
+            except (OSError, TypeError):  # pragma: no cover - frozen envs
+                hasher.update(module.__name__.encode())
+        _CODE_SALT = hasher.hexdigest()
+    return _CODE_SALT
+
+
+def program_fingerprint(program) -> str:
+    """Digest of a program's content (name excluded)."""
+    canonical = repr((program.arch.value,
+                      tuple(sorted(program.init)),
+                      program.threads))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def model_fingerprint(model) -> str:
+    """Digest of a model's identity; falls back to class+name for
+    duck-typed models without a ``fingerprint`` method."""
+    fp = getattr(model, "fingerprint", None)
+    if callable(fp):
+        return fp()
+    return hashlib.sha256(
+        f"{type(model).__module__}.{type(model).__qualname__}"
+        f"|{model.name}".encode()).hexdigest()
+
+
+def entry_key(program, model) -> str:
+    """The combined cache key for one (program, model) pair."""
+    return hashlib.sha256(
+        f"{program_fingerprint(program)}|{model_fingerprint(model)}"
+        f"|{_code_salt()}".encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Disk layer
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _OFF_VALUES
+
+
+def cache_dir() -> Path:
+    override = os.environ.get(ENV_VAR, "").strip()
+    if override and override.lower() not in _OFF_VALUES:
+        return Path(override)
+    return Path.cwd() / ".repro-cache" / "behaviors"
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"{key}.json"
+
+
+def load(program, model) -> frozenset | None:
+    """The cached behaviour set, or None on miss/corruption/disabled."""
+    if not enabled():
+        return None
+    path = _entry_path(entry_key(program, model))
+    try:
+        payload = json.loads(path.read_text())
+        return frozenset(
+            frozenset((str(k), int(v)) for k, v in beh)
+            for beh in payload["behaviors"]
+        )
+    except (OSError, ValueError, KeyError, TypeError):
+        # Missing, unreadable or malformed entries are plain misses;
+        # the store below rewrites them.
+        return None
+
+
+def store(program, model, behaviors: frozenset) -> None:
+    """Persist one behaviour set atomically; failures are silent (the
+    cache is an accelerator, never a correctness dependency)."""
+    if not enabled():
+        return
+    payload = json.dumps({
+        "program": program.name,
+        "model": model.name,
+        "behaviors": sorted(
+            [[k, v] for k, v in sorted(b)] for b in behaviors
+        ),
+    }, separators=(",", ":"))
+    path = _entry_path(entry_key(program, model))
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+    except OSError:  # pragma: no cover - read-only cache dir
+        pass
+
+
+def clear_disk_cache() -> int:
+    """Remove every cached entry; returns the number removed."""
+    removed = 0
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    for path in directory.glob("*.json"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:  # pragma: no cover - concurrent removal
+            pass
+    return removed

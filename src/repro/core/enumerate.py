@@ -12,8 +12,27 @@ candidate execution graph, in the style of the herd7 simulator:
 3. **coherence** — every per-location total order of writes, with the
    initialization write pinned first.
 
+Two enumeration paths share that pipeline:
+
+* :func:`enumerate_executions` — the naive path: the full rf × co cross
+  product, no model consulted.  Kept as the differential-testing oracle.
+* :func:`enumerate_consistent` — the staged fast path used by
+  :func:`consistent_executions`/:func:`behaviors`.  It prunes rf
+  candidates with model-independent coherence facts, enforces RMW
+  source-disjointness during the rf product, derives the coherence
+  edges every rf choice *forces*, runs the model's rf-stage precheck on
+  that partial execution, and then enumerates only the linear
+  extensions of the forced order — so inconsistent rf choices die
+  before a single coherence permutation is expanded.  Every prune is
+  justified by sc-per-loc/atomicity alone (the axioms all the paper's
+  models share), and the model precheck by co-monotonicity of the
+  axioms; ``tests/core/test_differential_enumeration.py`` checks the
+  two paths bit-identical over the whole corpus.
+
 Consistency filtering against a memory model and behaviour collection
-are thin wrappers at the bottom.  Dependencies (data/ctrl) are tracked
+are thin wrappers at the bottom; behaviours are memoized in-process and
+(via :mod:`repro.core.behavior_cache`) on disk, keyed by content
+fingerprints rather than names.  Dependencies (data/ctrl) are tracked
 during the symbolic execution because the Arm model consumes them.
 
 Address dependencies are not modelled: the litmus AST has no computed
@@ -23,13 +42,15 @@ addresses, which mirrors the paper's mapping-verification corpus.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 
 from ..errors import ModelError
+from . import behavior_cache
 from .events import INIT_TID, Event, Mode, RmwFlavor
 from .execution import Execution
 from .program import FenceOp, If, Load, Op, Program, Rmw, Store
-from .relations import Rel, total_order_extensions
+from .relations import Rel, linear_extensions, total_order_extensions
 
 #: Safety valve: enumeration aborts (with a clear error) past this many
 #: candidate executions, so a malformed "litmus" program cannot hang the
@@ -225,18 +246,30 @@ def thread_traces(ops: tuple[Op, ...],
 
 
 # ----------------------------------------------------------------------
-# Whole-program enumeration
+# Combo materialization shared by both enumeration paths
 # ----------------------------------------------------------------------
-def enumerate_executions(program: Program,
-                         limit: int = DEFAULT_CANDIDATE_LIMIT):
-    """Yield every candidate :class:`Execution` of ``program``."""
+@dataclass
+class _ComboGraph:
+    """Everything fixed by one trace combination, before rf/co choice."""
+
+    events: dict[int, Event]
+    po: Rel
+    data: Rel
+    ctrl: Rel
+    regs: frozenset
+    reads: list[Event]
+    writes_by_loc: dict[str, list[Event]]
+    init_writes: dict[str, int]
+    locations: list[str]
+
+
+def _combo_graphs(program: Program):
+    """Yield one :class:`_ComboGraph` per trace combination."""
     domains = location_domains(program)
     per_thread = [thread_traces(ops, domains) for ops in program.threads]
     locations = sorted(program.locations())
-    produced = 0
 
     for combo in itertools.product(*per_thread):
-        # --- materialize events -------------------------------------
         events: dict[int, Event] = {}
         next_eid = 0
         init_writes: dict[str, int] = {}
@@ -253,7 +286,6 @@ def enumerate_executions(program: Program,
         data_pairs: list[tuple[int, int]] = []
         ctrl_pairs: list[tuple[int, int]] = []
         reg_obs: set[tuple[str, int]] = set()
-        ok = True
 
         for tid, trace in enumerate(combo):
             base = next_eid
@@ -277,26 +309,38 @@ def enumerate_executions(program: Program,
             for reg, val in trace.regs.items():
                 reg_obs.add((f"T{tid}:{reg}", val))
 
-        if not ok:  # pragma: no cover - placeholder for future pruning
-            continue
-
-        po = Rel(po_pairs)
-        data = Rel(data_pairs)
-        ctrl = Rel(ctrl_pairs)
-        regs = frozenset(reg_obs)
-
-        # --- rf choices ----------------------------------------------
         reads = [e for e in events.values() if e.is_read()]
         writes_by_loc: dict[str, list[Event]] = {}
         for ev in events.values():
             if ev.is_write():
                 writes_by_loc.setdefault(ev.loc, []).append(ev)
 
+        yield _ComboGraph(
+            events=events,
+            po=Rel(po_pairs),
+            data=Rel(data_pairs),
+            ctrl=Rel(ctrl_pairs),
+            regs=frozenset(reg_obs),
+            reads=reads,
+            writes_by_loc=writes_by_loc,
+            init_writes=init_writes,
+            locations=locations,
+        )
+
+
+# ----------------------------------------------------------------------
+# Naive whole-program enumeration (the differential oracle)
+# ----------------------------------------------------------------------
+def enumerate_executions(program: Program,
+                         limit: int = DEFAULT_CANDIDATE_LIMIT):
+    """Yield every candidate :class:`Execution` of ``program``."""
+    produced = 0
+    for graph in _combo_graphs(program):
         rf_options: list[list[int]] = []
         feasible = True
-        for rd in reads:
+        for rd in graph.reads:
             srcs = [
-                w.eid for w in writes_by_loc.get(rd.loc, ())
+                w.eid for w in graph.writes_by_loc.get(rd.loc, ())
                 if w.val == rd.val and w.eid != rd.eid
             ]
             if not srcs:
@@ -308,15 +352,15 @@ def enumerate_executions(program: Program,
 
         co_options = [
             list(total_order_extensions(
-                [w.eid for w in writes_by_loc[loc]],
-                first=init_writes[loc],
+                [w.eid for w in graph.writes_by_loc[loc]],
+                first=graph.init_writes[loc],
             ))
-            for loc in locations if loc in writes_by_loc
+            for loc in graph.locations if loc in graph.writes_by_loc
         ]
 
         for rf_choice in itertools.product(*rf_options):
             rf = Rel(
-                (src, rd.eid) for src, rd in zip(rf_choice, reads)
+                (src, rd.eid) for src, rd in zip(rf_choice, graph.reads)
             )
             for co_parts in itertools.product(*co_options):
                 produced += 1
@@ -329,9 +373,320 @@ def enumerate_executions(program: Program,
                     *(part.pairs for part in co_parts)
                 )) if co_parts else Rel()
                 yield Execution(
-                    events=events, po=po, rf=rf, co=co,
-                    data=data, ctrl=ctrl, regs=regs,
+                    events=graph.events, po=graph.po, rf=rf, co=co,
+                    data=graph.data, ctrl=graph.ctrl, regs=graph.regs,
                 )
+
+
+# ----------------------------------------------------------------------
+# Staged enumeration (the fast path)
+# ----------------------------------------------------------------------
+@dataclass
+class EnumerationStats:
+    """Counters from one (or many merged) staged enumeration runs."""
+
+    #: Trace combinations examined.
+    combos: int = 0
+    #: What the naive rf × co cross product would have materialized,
+    #: computed arithmetically — the denominator of the saving.
+    candidates_naive: int = 0
+    #: Per-read rf sources removed by the coherence-over-po prunes.
+    rf_options_pruned: int = 0
+    #: rf assignments emitted by the (RMW-filtered) rf product.
+    rf_choices: int = 0
+    #: Product branches cut because two successful RMWs shared a source.
+    rf_rejected_rmw: int = 0
+    #: rf assignments whose forced coherence edges were cyclic.
+    rf_rejected_coherence: int = 0
+    #: rf assignments rejected by the model's rf-stage precheck.
+    rf_rejected_precheck: int = 0
+    #: Full executions actually materialized (the staged numerator).
+    executions_enumerated: int = 0
+    #: Executions found consistent and yielded.
+    consistent: int = 0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Share of the naive cross product never materialized."""
+        if not self.candidates_naive:
+            return 0.0
+        return 1.0 - self.executions_enumerated / self.candidates_naive
+
+    def merge(self, other: "EnumerationStats") -> None:
+        self.combos += other.combos
+        self.candidates_naive += other.candidates_naive
+        self.rf_options_pruned += other.rf_options_pruned
+        self.rf_choices += other.rf_choices
+        self.rf_rejected_rmw += other.rf_rejected_rmw
+        self.rf_rejected_coherence += other.rf_rejected_coherence
+        self.rf_rejected_precheck += other.rf_rejected_precheck
+        self.executions_enumerated += other.executions_enumerated
+        self.consistent += other.consistent
+
+    def snapshot(self) -> "EnumerationStats":
+        copy = EnumerationStats()
+        copy.merge(self)
+        return copy
+
+
+_ENUM_STATS = EnumerationStats()
+
+
+def enumeration_stats() -> EnumerationStats:
+    """Process-wide staged-enumeration counters since the last reset."""
+    return _ENUM_STATS.snapshot()
+
+
+def reset_enumeration_stats() -> None:
+    global _ENUM_STATS
+    _ENUM_STATS = EnumerationStats()
+
+
+def _pruned_sources(rd: Event, writes: list[Event],
+                    stats: EnumerationStats) -> list[int]:
+    """Value-matching rf sources minus choices no consistent execution
+    can make.  Each prune follows from sc-per-loc alone:
+
+    * a po-*later* same-thread write W cannot feed rd — rf(W,rd) with
+      po_loc(rd,W) is an sc-per-loc cycle;
+    * a same-thread source masked by an intervening same-location write
+      V cannot feed rd — co(W,V) is forced by po (else co ∪ po_loc
+      cycles), and then fr(rd,V) with po_loc(V,rd) cycles;
+    * the initialization write cannot feed rd once rd's own thread
+      wrote the location po-before rd — the same masking argument with
+      W = init (init is co-first by construction).
+    """
+    own_before = [
+        w for w in writes if w.tid == rd.tid and w.idx < rd.idx
+    ]
+    srcs: list[int] = []
+    for w in writes:
+        if w.val != rd.val or w.eid == rd.eid:
+            continue
+        if w.tid == rd.tid and w.idx > rd.idx:
+            stats.rf_options_pruned += 1
+            continue
+        if w.is_init and own_before:
+            stats.rf_options_pruned += 1
+            continue
+        if w.tid == rd.tid and any(v.idx > w.idx for v in own_before):
+            stats.rf_options_pruned += 1
+            continue
+        srcs.append(w.eid)
+    return srcs
+
+
+def _rf_assignments(reads: list[Event], rf_options: list[list[int]],
+                    stats: EnumerationStats):
+    """The rf product, minus assignments where two distinct successful
+    RMWs read the same source.
+
+    Such sharing always violates a common axiom: the source W is forced
+    co-before both RMW writes (sc-per-loc, as each RMW read of W
+    po-precedes its own write), so whichever RMW write orders first in
+    co sits co-between W and the other pair — an atomicity violation
+    when the pairs are in different threads, and an sc-per-loc cycle
+    when they share one.  The check runs *during* the backtracking
+    product, so a shared source cuts the whole subtree.
+    """
+    is_rmw = [rd.rmw_partner is not None for rd in reads]
+    choice = [0] * len(reads)
+    used: set[int] = set()
+
+    def rec(i: int):
+        if i == len(reads):
+            yield tuple(choice)
+            return
+        for src in rf_options[i]:
+            if is_rmw[i]:
+                if src in used:
+                    stats.rf_rejected_rmw += 1
+                    continue
+                used.add(src)
+            choice[i] = src
+            yield from rec(i + 1)
+            if is_rmw[i]:
+                used.discard(src)
+
+    yield from rec(0)
+
+
+def _forced_co_base(graph: _ComboGraph) -> dict[str, set]:
+    """rf-independent forced coherence edges, per location: the init
+    write first, and same-thread same-location writes in program order
+    (both are consequences of sc-per-loc ∪ co well-formedness)."""
+    base: dict[str, set] = {}
+    for loc, writes in graph.writes_by_loc.items():
+        init = graph.init_writes[loc]
+        edges = {(init, w.eid) for w in writes if w.eid != init}
+        for w1, w2 in itertools.combinations(writes, 2):
+            if w1.tid == w2.tid and not w1.is_init:
+                if w1.idx < w2.idx:
+                    edges.add((w1.eid, w2.eid))
+                else:
+                    edges.add((w2.eid, w1.eid))
+        base[loc] = edges
+    return base
+
+
+def _forced_co(graph: _ComboGraph, base: dict[str, set],
+               rf_choice: tuple[int, ...]) -> dict[str, Rel] | None:
+    """Per-location transitive closure of the coherence edges forced by
+    an rf assignment, or None when they cycle (the rf choice is then
+    impossible under sc-per-loc).
+
+    On top of the rf-independent base, a read rd observing W forces,
+    for every same-location write V of rd's own thread:
+
+    * ``co(V, W)`` when V is po-before rd — otherwise co(W,V) makes
+      fr(rd,V), cycling with po_loc(V,rd);
+    * ``co(W, V)`` when V is po-after rd — otherwise co(V,W) closes the
+      cycle rf(W,rd); po_loc(rd,V); co(V,W).
+
+    The second clause covers the RMW pairing: a successful RMW's write
+    is po-after its read, so the observed write is pinned immediately
+    co-before the pair's own write whenever the order is total.
+    """
+    edges = {loc: set(pairs) for loc, pairs in base.items()}
+    for rd, src in zip(graph.reads, rf_choice):
+        loc_edges = edges[rd.loc]
+        for v in graph.writes_by_loc[rd.loc]:
+            if v.eid == src or v.tid != rd.tid:
+                continue
+            if v.idx < rd.idx:
+                loc_edges.add((v.eid, src))
+            else:
+                loc_edges.add((src, v.eid))
+    closed: dict[str, Rel] = {}
+    for loc, pairs in edges.items():
+        closure = Rel(pairs).plus()
+        if not closure.is_irreflexive():
+            return None
+        closed[loc] = closure
+    return closed
+
+
+def enumerate_consistent(program: Program, model,
+                         limit: int = DEFAULT_CANDIDATE_LIMIT,
+                         stats: EnumerationStats | None = None):
+    """Yield every ``model``-consistent execution via the staged path.
+
+    Requires ``model.supports_staged`` (axioms monotone in co and
+    inclusive of sc-per-loc + atomicity); models without it fall back
+    to filtering the naive product.  Counters accumulate into the
+    module-wide :func:`enumeration_stats` and, when given, ``stats``.
+    """
+    if not getattr(model, "supports_staged", False):
+        for ex in enumerate_executions(program, limit=limit):
+            if model.is_consistent(ex):
+                yield ex
+        return
+
+    run = EnumerationStats()
+    try:
+        yield from _enumerate_staged(program, model, limit, run)
+    finally:
+        _ENUM_STATS.merge(run)
+        if stats is not None:
+            stats.merge(run)
+
+
+def _enumerate_staged(program: Program, model, limit: int,
+                      stats: EnumerationStats):
+    produced = 0
+    for graph in _combo_graphs(program):
+        stats.combos += 1
+
+        # Arithmetic size of the naive cross product for this combo:
+        # Π (value-matching sources per read) × Π (n-1)! co orders.
+        naive = 1
+        for rd in graph.reads:
+            naive *= sum(
+                1 for w in graph.writes_by_loc.get(rd.loc, ())
+                if w.val == rd.val and w.eid != rd.eid
+            )
+        for writes in graph.writes_by_loc.values():
+            naive *= math.factorial(len(writes) - 1)
+        stats.candidates_naive += naive
+        if naive == 0:
+            continue
+
+        rf_options: list[list[int]] = []
+        feasible = True
+        for rd in graph.reads:
+            srcs = _pruned_sources(
+                rd, graph.writes_by_loc.get(rd.loc, []), stats)
+            if not srcs:
+                feasible = False
+                break
+            rf_options.append(srcs)
+        if not feasible:
+            continue
+
+        base_edges = _forced_co_base(graph)
+        write_ids = {
+            loc: [w.eid for w in writes]
+            for loc, writes in graph.writes_by_loc.items()
+        }
+
+        for rf_choice in _rf_assignments(graph.reads, rf_options, stats):
+            stats.rf_choices += 1
+            forced = _forced_co(graph, base_edges, rf_choice)
+            if forced is None:
+                stats.rf_rejected_coherence += 1
+                continue
+            rf = Rel(
+                (src, rd.eid) for src, rd in zip(rf_choice, graph.reads)
+            )
+            partial_co = Rel(frozenset().union(
+                *(rel.pairs for rel in forced.values())
+            )) if forced else Rel()
+            precheck = Execution(
+                events=graph.events, po=graph.po, rf=rf, co=partial_co,
+                data=graph.data, ctrl=graph.ctrl, regs=graph.regs,
+            )
+            if not model.rf_stage_consistent(precheck):
+                stats.rf_rejected_precheck += 1
+                continue
+
+            ext_per_loc = [
+                list(linear_extensions(write_ids[loc],
+                                       forced[loc].pairs))
+                for loc in graph.locations
+            ]
+            # A finite poset has a unique linear extension exactly when
+            # it is already total — then co equals the prechecked
+            # partial order: the full recheck is redundant and the
+            # precheck execution *is* the candidate, no rebuild needed.
+            if all(len(exts) == 1 for exts in ext_per_loc):
+                produced += 1
+                stats.executions_enumerated += 1
+                if produced > limit:
+                    raise ModelError(
+                        f"{program.name}: candidate executions exceed "
+                        f"limit {limit}"
+                    )
+                stats.consistent += 1
+                yield precheck
+                continue
+            for co_parts in itertools.product(*ext_per_loc):
+                produced += 1
+                stats.executions_enumerated += 1
+                if produced > limit:
+                    raise ModelError(
+                        f"{program.name}: candidate executions exceed "
+                        f"limit {limit}"
+                    )
+                co = Rel(frozenset().union(
+                    *(part.pairs for part in co_parts)
+                )) if co_parts else Rel()
+                ex = Execution(
+                    events=graph.events, po=graph.po, rf=rf, co=co,
+                    data=graph.data, ctrl=graph.ctrl, regs=graph.regs,
+                )
+                if model.is_consistent(ex):
+                    stats.consistent += 1
+                    yield ex
 
 
 # ----------------------------------------------------------------------
@@ -342,10 +697,19 @@ _BEHAVIOR_CACHE: dict[tuple[Program, str], frozenset] = {}
 
 @dataclass
 class BehaviorCacheStats:
-    """Hit/miss counters for the behaviour memo (observability layer)."""
+    """Hit/miss counters for the behaviour memo (observability layer).
+
+    ``hits``/``misses`` describe the in-process memo; every miss then
+    consults the persistent layer, splitting into ``disk_hits`` (loaded
+    from :mod:`repro.core.behavior_cache`) and ``disk_misses``
+    (enumerated from scratch, then stored).  Both stay zero when the
+    disk layer is disabled.
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -360,6 +724,8 @@ class BehaviorCacheStats:
     def merge(self, other: "BehaviorCacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
+        self.disk_hits += other.disk_hits
+        self.disk_misses += other.disk_misses
 
 
 _CACHE_STATS = BehaviorCacheStats()
@@ -368,39 +734,74 @@ _CACHE_STATS = BehaviorCacheStats()
 def behavior_cache_stats() -> BehaviorCacheStats:
     """A snapshot of the cache counters since the last reset."""
     return BehaviorCacheStats(hits=_CACHE_STATS.hits,
-                              misses=_CACHE_STATS.misses)
+                              misses=_CACHE_STATS.misses,
+                              disk_hits=_CACHE_STATS.disk_hits,
+                              disk_misses=_CACHE_STATS.disk_misses)
 
 
-def consistent_executions(program: Program, model) -> list[Execution]:
-    """All candidate executions consistent in ``model``."""
+def consistent_executions(program: Program, model,
+                          limit: int | None = None,
+                          staged: bool | None = None) -> list[Execution]:
+    """All candidate executions consistent in ``model``.
+
+    ``limit`` overrides :data:`DEFAULT_CANDIDATE_LIMIT` (the safety
+    valve on materialized candidates); ``staged`` forces the fast or
+    the naive path, defaulting to whatever the model supports.
+    """
+    limit = DEFAULT_CANDIDATE_LIMIT if limit is None else limit
+    if staged is None:
+        staged = getattr(model, "supports_staged", False)
+    if staged:
+        return list(enumerate_consistent(program, model, limit=limit))
     return [
-        ex for ex in enumerate_executions(program)
+        ex for ex in enumerate_executions(program, limit=limit)
         if model.is_consistent(ex)
     ]
 
 
-def behaviors(program: Program, model) -> frozenset:
+def behaviors(program: Program, model,
+              limit: int | None = None) -> frozenset:
     """The set of ``full_behavior`` values of consistent executions.
 
-    Results are cached: programs are immutable and models are stateless
-    singletons, and the verifier asks for the same source behaviours for
-    many target mappings.
+    Results are memoized in-process and persisted on disk: programs are
+    immutable and the cache key is a *content fingerprint* of program
+    and model (plus a source-code salt), so two model instances only
+    share entries when their class source and configuration agree —
+    ``model.name`` alone is not trusted, as ablation-built variants
+    legitimately reuse standard names.  A cached result is returned
+    without re-enumerating, so ``limit`` only takes effect on misses.
     """
-    key = (program, model.name)
+    key = (program, behavior_cache.model_fingerprint(model))
     cached = _BEHAVIOR_CACHE.get(key)
     if cached is None:
         _CACHE_STATS.misses += 1
-        cached = frozenset(
-            ex.full_behavior for ex in consistent_executions(program, model)
-        )
+        cached = behavior_cache.load(program, model)
+        if cached is not None:
+            _CACHE_STATS.disk_hits += 1
+        else:
+            if behavior_cache.enabled():
+                _CACHE_STATS.disk_misses += 1
+            cached = frozenset(
+                ex.full_behavior
+                for ex in consistent_executions(program, model,
+                                                limit=limit)
+            )
+            behavior_cache.store(program, model, cached)
         _BEHAVIOR_CACHE[key] = cached
     else:
         _CACHE_STATS.hits += 1
     return cached
 
 
-def clear_behavior_cache() -> None:
-    """Drop memoized behaviours (used by tests that tweak models)."""
+def clear_behavior_cache(disk: bool = False) -> None:
+    """Drop memoized behaviours (used by tests that tweak models).
+
+    ``disk=True`` additionally clears the persistent layer.
+    """
     _BEHAVIOR_CACHE.clear()
     _CACHE_STATS.hits = 0
     _CACHE_STATS.misses = 0
+    _CACHE_STATS.disk_hits = 0
+    _CACHE_STATS.disk_misses = 0
+    if disk:
+        behavior_cache.clear_disk_cache()

@@ -3,10 +3,15 @@
 from __future__ import annotations
 
 import abc
+import hashlib
+import inspect
 
 from ..axioms import atomicity, sc_per_loc
 from ..events import Arch
 from ..execution import Execution
+
+#: Cached per-class source digests for :meth:`MemoryModel.fingerprint`.
+_CLASS_DIGESTS: dict[type, str] = {}
 
 
 class MemoryModel(abc.ABC):
@@ -16,14 +21,59 @@ class MemoryModel(abc.ABC):
     name: str
     #: The program level this model judges.
     arch: Arch
+    #: Whether the staged enumerator may use this model's
+    #: :meth:`rf_stage_consistent` as an early filter.  True requires
+    #: every axiom to be *monotone* in co (and hence fr = rf⁻¹;co):
+    #: adding co edges can only add edges to the checked relations, so a
+    #: cycle found under a partial co persists under every extension.
+    #: Set to False in a subclass whose axioms inspect co
+    #: non-monotonically (e.g. count co-maximal writes).
+    supports_staged: bool = True
 
     @abc.abstractmethod
     def is_consistent(self, ex: Execution) -> bool:
         """True when ``ex`` satisfies every axiom of the model."""
 
+    def rf_stage_consistent(self, ex: Execution) -> bool:
+        """Precheck for the staged enumerator, before co is enumerated.
+
+        ``ex.co`` holds only the *forced* coherence edges implied by the
+        rf choice (init-first, same-thread write order, observed-write
+        obligations) — a sound subset of every compatible full co.  With
+        monotone axioms, rejecting here rejects every extension, so an
+        inconsistent rf choice never reaches the co product.
+        """
+        return self.is_consistent(ex)
+
     def common_axioms(self, ex: Execution) -> bool:
         """sc-per-loc + atomicity, shared by all models in the paper."""
         return sc_per_loc(ex) and atomicity(ex)
+
+    def fingerprint(self) -> str:
+        """Content identity for behaviour caching.
+
+        Two models share a fingerprint only when they are instances of
+        the same class source with the same configuration — unlike
+        ``name``, which an ablated or variant model may reuse.  The
+        digest covers the class identity, its source text (so editing a
+        model invalidates cached behaviours, on disk included), and the
+        instance attributes (e.g. ``ArmModel.corrected``).
+        """
+        cls = type(self)
+        digest = _CLASS_DIGESTS.get(cls)
+        if digest is None:
+            try:
+                source = inspect.getsource(cls)
+            except (OSError, TypeError):
+                source = ""
+            digest = hashlib.sha256(
+                f"{cls.__module__}.{cls.__qualname__}\n{source}"
+                .encode()).hexdigest()
+            _CLASS_DIGESTS[cls] = digest
+        config = "|".join(
+            f"{key}={vars(self)[key]!r}" for key in sorted(vars(self)))
+        return hashlib.sha256(
+            f"{digest}|{self.name}|{config}".encode()).hexdigest()
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name}>"

@@ -78,3 +78,11 @@ class TCGModel(MemoryModel):
         if not self.common_axioms(ex):
             return False
         return self.ghb(ex).is_acyclic()
+
+    def rf_stage_consistent(self, ex: Execution) -> bool:
+        """Sound on partial co: ``ord`` is built from po, fences and
+        event modes only — co never appears — and the remaining GOrd
+        terms ``rfe``/``coe``/``fre`` are monotone in co, so a GOrd (or
+        sc-per-loc/atomicity) violation under the forced co cannot be
+        repaired by any coherence extension."""
+        return self.is_consistent(ex)

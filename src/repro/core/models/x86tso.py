@@ -42,3 +42,13 @@ class X86Model(MemoryModel):
         if not self.common_axioms(ex):
             return False
         return self.ghb(ex).is_acyclic()
+
+    def rf_stage_consistent(self, ex: Execution) -> bool:
+        """Sound on partial co: every GHB term (implied, ppo, rfe, fr,
+        co) is a union/composition that only *grows* when co grows, as
+        do sc-per-loc's ``po_loc ∪ rf ∪ co ∪ fr`` and atomicity's
+        ``fre;coe``.  A GHB cycle visible under the forced co therefore
+        survives in every coherence extension — the rf choice is dead
+        before the co product is expanded (this is where SB/IRIW-style
+        weak rf combinations die under TSO)."""
+        return self.is_consistent(ex)

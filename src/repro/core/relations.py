@@ -234,3 +234,49 @@ def total_order_extensions(elements: list[int], first: int | None = None):
             for i in range(len(order))
             for j in range(i + 1, len(order))
         )
+
+
+def linear_extensions(elements: list[int], partial: Iterable[Pair]):
+    """Yield every strict total order of ``elements`` extending
+    ``partial``, as a Rel (same shape as ``total_order_extensions``).
+
+    ``partial`` is any set of (before, after) pairs over ``elements``;
+    pairs mentioning other ids are ignored.  Enumeration is a
+    backtracking topological sort, so each extension is produced exactly
+    once and a cyclic ``partial`` yields nothing.  With no pairs this
+    degenerates to all permutations; with a total order it yields the
+    single compatible permutation — the staged enumerator's common case,
+    where the forced coherence edges already pin every write.
+    """
+    elems = list(elements)
+    members = set(elems)
+    succ: dict[int, list[int]] = {e: [] for e in elems}
+    indeg: dict[int, int] = {e: 0 for e in elems}
+    for a, b in partial:
+        if a in members and b in members and a != b:
+            succ[a].append(b)
+            indeg[b] += 1
+
+    order: list[int] = []
+
+    def rec():
+        if len(order) == len(elems):
+            yield Rel(
+                (order[i], order[j])
+                for i in range(len(order))
+                for j in range(i + 1, len(order))
+            )
+            return
+        for e in elems:
+            if indeg[e] == 0:
+                indeg[e] = -1  # claimed
+                for s in succ[e]:
+                    indeg[s] -= 1
+                order.append(e)
+                yield from rec()
+                order.pop()
+                for s in succ[e]:
+                    indeg[s] += 1
+                indeg[e] = 0
+
+    yield from rec()

@@ -86,15 +86,18 @@ class CorpusReport:
 def check_translation(source: Program, target: Program,
                       src_model: MemoryModel, tgt_model: MemoryModel,
                       test: LitmusTest | None = None,
-                      mapping_name: str = "?") -> MappingVerdict:
+                      mapping_name: str = "?",
+                      limit: int | None = None) -> MappingVerdict:
     """Theorem 1 via behaviour-set inclusion.
 
     Register observations are projected to the registers common to both
     programs, so transformations that constant-fold a register away
-    (e.g. FMR's RAW elimination) remain comparable.
+    (e.g. FMR's RAW elimination) remain comparable.  ``limit`` adjusts
+    the candidate-enumeration safety valve for *both* programs — mapped
+    targets blow up faster than their sources.
     """
-    src_behs = behaviors(source, src_model)
-    tgt_behs = behaviors(target, tgt_model)
+    src_behs = behaviors(source, src_model, limit=limit)
+    tgt_behs = behaviors(target, tgt_model, limit=limit)
 
     src_keys = _behavior_keys(src_behs)
     tgt_keys = _behavior_keys(tgt_behs)
@@ -142,23 +145,26 @@ def _project(beh: frozenset, keys: frozenset) -> frozenset:
 
 def check_mapping(test: LitmusTest, mapping: OpMapping,
                   src_model: MemoryModel,
-                  tgt_model: MemoryModel) -> MappingVerdict:
+                  tgt_model: MemoryModel,
+                  limit: int | None = None) -> MappingVerdict:
     """Map the test's program and check Theorem 1 for it."""
     target = mapping.apply(test.program)
     verdict = check_translation(
         test.program, target, src_model, tgt_model,
-        test=test, mapping_name=mapping.name,
+        test=test, mapping_name=mapping.name, limit=limit,
     )
     return verdict
 
 
 def check_corpus(corpus: tuple[LitmusTest, ...], mapping: OpMapping,
                  src_model: MemoryModel,
-                 tgt_model: MemoryModel) -> CorpusReport:
+                 tgt_model: MemoryModel,
+                 limit: int | None = None) -> CorpusReport:
     report = CorpusReport(mapping_name=mapping.name)
     for test in corpus:
         report.verdicts.append(
-            check_mapping(test, mapping, src_model, tgt_model)
+            check_mapping(test, mapping, src_model, tgt_model,
+                          limit=limit)
         )
     return report
 
@@ -166,10 +172,11 @@ def check_corpus(corpus: tuple[LitmusTest, ...], mapping: OpMapping,
 # ----------------------------------------------------------------------
 # Sanity: the litmus annotations themselves hold in the source model
 # ----------------------------------------------------------------------
-def check_annotations(test: LitmusTest, model: MemoryModel) -> list[str]:
+def check_annotations(test: LitmusTest, model: MemoryModel,
+                      limit: int | None = None) -> list[str]:
     """Return problems with the test's forbidden/allowed annotations."""
     problems = []
-    behs = behaviors(test.program, model)
+    behs = behaviors(test.program, model, limit=limit)
     for out in test.forbidden:
         if shows(behs, out):
             problems.append(
@@ -250,11 +257,12 @@ class AblationResult:
 
 def ablate(corpus: tuple[LitmusTest, ...], weakened: OpMapping,
            src_model: MemoryModel, tgt_model: MemoryModel,
-           label: str) -> AblationResult:
+           label: str, limit: int | None = None) -> AblationResult:
     """Run a weakened mapping over the corpus; collect broken tests."""
     broken = []
     for test in corpus:
-        verdict = check_mapping(test, weakened, src_model, tgt_model)
+        verdict = check_mapping(test, weakened, src_model, tgt_model,
+                                limit=limit)
         if not verdict.ok:
             broken.append(test.name)
     return AblationResult(ablation=label, broken_tests=tuple(broken))

@@ -157,9 +157,15 @@ class NativeRunner:
     def __init__(self, machine: Machine | None = None,
                  n_cores: int = 4,
                  costs: CostModel | None = None,
-                 seed: int = 42):
+                 seed: int = 42,
+                 buffer_mode: BufferMode = BufferMode.WEAK):
+        # buffer_mode must reach the Machine here exactly as in
+        # DBTEngine: the native bars are the reference the DBT variants
+        # are divided by, so running them under a different memory
+        # setup skews every relative-runtime figure.
         self.machine = machine or Machine(
-            n_cores=n_cores, costs=costs or DEFAULT_COSTS, seed=seed)
+            n_cores=n_cores, costs=costs or DEFAULT_COSTS, seed=seed,
+            buffer_mode=buffer_mode)
         self.runtime = Runtime(self.machine)
         self.runtime.native_mode = True
         self._exit_trap = self.runtime.alloc_trap(self._thread_exit)

@@ -18,6 +18,7 @@ from ..errors import ReproError
 from ..isa.arm.assembler import assemble as assemble_arm
 from ..loader.gelf import build_binary
 from ..machine.timing import CostModel
+from ..machine.weakmem import BufferMode
 from .kernels import TID_BASE
 from .runner import NATIVE, WorkloadResult
 
@@ -161,13 +162,15 @@ casloop:
 
 def run_cas_benchmark(config: CasConfig, variant: str,
                       seed: int = 7,
-                      costs: CostModel | None = None) -> WorkloadResult:
+                      costs: CostModel | None = None,
+                      buffer_mode: BufferMode = BufferMode.WEAK,
+                      ) -> WorkloadResult:
     """Run one Figure 15 configuration; throughput is
     ``config.total_ops / result.elapsed_cycles``."""
     started = time.perf_counter()
     if variant == NATIVE:
         engine = NativeRunner(n_cores=config.threads, seed=seed,
-                              costs=costs)
+                              costs=costs, buffer_mode=buffer_mode)
         assembly = assemble_arm(_arm_cas_program(config),
                                 base=0x0F00_0000)
         engine.load_image(assembly.base, assembly.code)
@@ -178,7 +181,8 @@ def run_cas_benchmark(config: CasConfig, variant: str,
         except KeyError:
             raise ReproError(f"unknown variant {variant!r}") from None
         engine = DBTEngine(dbt_config, n_cores=config.threads,
-                           seed=seed, costs=costs)
+                           seed=seed, costs=costs,
+                           buffer_mode=buffer_mode)
         binary = build_binary(_x86_cas_program(config))
         binary.load_into(engine.machine.memory)
         entry = binary.entry

@@ -33,9 +33,10 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
-from ..core.enumerate import behavior_cache_stats
+from ..core.enumerate import behavior_cache_stats, enumeration_stats
 from ..errors import ReproError
 from ..machine.timing import CostModel
+from ..machine.weakmem import BufferMode
 from .casbench import CasConfig, run_cas_benchmark
 from .kernels import KernelSpec
 from .libs import build_libcrypto, build_libm, build_libsqlite, \
@@ -79,6 +80,9 @@ class RunSpec:
     seed: int = 7
     max_steps: int = 80_000_000
     costs: CostModel | None = None
+    #: Store-buffer mode for the machine — applied to *every* variant,
+    #: native included, so the bars of one benchmark are comparable.
+    buffer_mode: BufferMode = BufferMode.WEAK
     # kind == "kernel"
     kernel: KernelSpec | None = None
     # kind == "library"
@@ -118,9 +122,20 @@ class RunRow:
     opt_fences_merged: int = 0
     opt_dead_removed: int = 0
     #: behaviour-cache counters accumulated during the run (litmus
-    #: ablations; zero for machine workloads).
+    #: ablations; zero for machine workloads).  ``cache_misses`` counts
+    #: in-process misses; the disk pair splits those misses into
+    #: persistent-layer hits and true enumerations.
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_disk_hits: int = 0
+    cache_disk_misses: int = 0
+    #: staged-enumeration counters (litmus ablations; zero elsewhere):
+    #: the naive rf × co product size, what was actually materialized,
+    #: and the rf-stage cuts that account for the difference.
+    enum_candidates_naive: int = 0
+    enum_executions: int = 0
+    enum_rf_pruned: int = 0
+    enum_rf_rejected: int = 0
     #: kind-specific extras (e.g. broken litmus tests of an ablation).
     payload: tuple = ()
 
@@ -159,14 +174,31 @@ def _run_ablation(spec: RunSpec, started: float) -> RunRow:
     from ..core.ablations import run_named_ablation
 
     before = behavior_cache_stats()
+    enum_before = enumeration_stats()
     result = run_named_ablation(spec.ablation or spec.benchmark)
     after = behavior_cache_stats()
+    enum_after = enumeration_stats()
     return RunRow(
         benchmark=spec.benchmark,
         variant=spec.variant,
         wall_seconds=time.perf_counter() - started,
         cache_hits=after.hits - before.hits,
         cache_misses=after.misses - before.misses,
+        cache_disk_hits=after.disk_hits - before.disk_hits,
+        cache_disk_misses=after.disk_misses - before.disk_misses,
+        enum_candidates_naive=(enum_after.candidates_naive
+                               - enum_before.candidates_naive),
+        enum_executions=(enum_after.executions_enumerated
+                         - enum_before.executions_enumerated),
+        enum_rf_pruned=(enum_after.rf_options_pruned
+                        - enum_before.rf_options_pruned),
+        enum_rf_rejected=(
+            (enum_after.rf_rejected_rmw
+             + enum_after.rf_rejected_coherence
+             + enum_after.rf_rejected_precheck)
+            - (enum_before.rf_rejected_rmw
+               + enum_before.rf_rejected_coherence
+               + enum_before.rf_rejected_precheck)),
         payload=tuple(result.broken_tests),
     )
 
@@ -178,7 +210,8 @@ def execute_spec(spec: RunSpec) -> RunRow:
         if spec.kernel is None:
             raise ReproError(f"kernel spec missing for {spec.benchmark}")
         outcome = run_kernel(spec.kernel, spec.variant, seed=spec.seed,
-                             costs=spec.costs, max_steps=spec.max_steps)
+                             costs=spec.costs, max_steps=spec.max_steps,
+                             buffer_mode=spec.buffer_mode)
     elif spec.kind == "library":
         try:
             library = LIBRARY_BUILDERS[spec.library]()
@@ -190,12 +223,13 @@ def execute_spec(spec: RunSpec) -> RunRow:
         outcome = run_library_workload(
             spec.function, spec.args, spec.calls, spec.variant, library,
             setup_memory=setup, seed=spec.seed, costs=spec.costs,
-            max_steps=spec.max_steps)
+            max_steps=spec.max_steps, buffer_mode=spec.buffer_mode)
     elif spec.kind == "cas":
         if spec.cas is None:
             raise ReproError(f"cas config missing for {spec.benchmark}")
         outcome = run_cas_benchmark(spec.cas, spec.variant,
-                                    seed=spec.seed, costs=spec.costs)
+                                    seed=spec.seed, costs=spec.costs,
+                                    buffer_mode=spec.buffer_mode)
     elif spec.kind == "ablation":
         return _run_ablation(spec, started)
     else:

@@ -19,6 +19,7 @@ from ..loader.gelf import GuestBinary, build_binary
 from ..loader.hostlibs import ARG_REGISTERS, HostLibrary
 from ..loader.linker import HostLinker
 from ..machine.timing import CostModel
+from ..machine.weakmem import BufferMode
 from .kernels import KernelSpec, gen_arm_program, gen_x86_program
 
 NATIVE = "native"
@@ -40,16 +41,27 @@ class WorkloadResult:
 
 
 def _make_engine(variant: str, n_cores: int, seed: int,
-                 costs: CostModel | None):
+                 costs: CostModel | None,
+                 buffer_mode: BufferMode = BufferMode.WEAK):
     if variant == NATIVE:
-        return NativeRunner(n_cores=n_cores, seed=seed, costs=costs)
-    try:
-        config = VARIANTS[variant]
-    except KeyError:
-        raise ReproError(
-            f"unknown variant {variant!r}; expected one of "
-            f"{ALL_VARIANTS}") from None
-    return DBTEngine(config, n_cores=n_cores, seed=seed, costs=costs)
+        engine = NativeRunner(n_cores=n_cores, seed=seed, costs=costs,
+                              buffer_mode=buffer_mode)
+    else:
+        try:
+            config = VARIANTS[variant]
+        except KeyError:
+            raise ReproError(
+                f"unknown variant {variant!r}; expected one of "
+                f"{ALL_VARIANTS}") from None
+        engine = DBTEngine(config, n_cores=n_cores, seed=seed,
+                           costs=costs, buffer_mode=buffer_mode)
+    # Parity guard for grid sweeps: every variant of a benchmark,
+    # native included, must run under the memory setup the spec asked
+    # for — a silently defaulted buffer mode is the bug this catches.
+    assert engine.machine.buffer_mode is buffer_mode, (
+        f"{variant}: machine built with {engine.machine.buffer_mode}, "
+        f"spec asked for {buffer_mode}")
+    return engine
 
 
 # ----------------------------------------------------------------------
@@ -57,11 +69,13 @@ def _make_engine(variant: str, n_cores: int, seed: int,
 # ----------------------------------------------------------------------
 def run_kernel(spec: KernelSpec, variant: str,
                seed: int = 7, costs: CostModel | None = None,
-               max_steps: int = 80_000_000) -> WorkloadResult:
+               max_steps: int = 80_000_000,
+               buffer_mode: BufferMode = BufferMode.WEAK,
+               ) -> WorkloadResult:
     """Run one PARSEC/Phoenix kernel under a variant (or natively)."""
     started = time.perf_counter()
     n_cores = spec.threads
-    engine = _make_engine(variant, n_cores, seed, costs)
+    engine = _make_engine(variant, n_cores, seed, costs, buffer_mode)
     if variant == NATIVE:
         assembly = assemble_arm(gen_arm_program(spec), base=0x0100_0000
                                 + 0x0F00_0000)
@@ -114,7 +128,9 @@ def run_library_workload(function_name: str, args: tuple[int, ...],
                          setup_memory=None,
                          seed: int = 7,
                          costs: CostModel | None = None,
-                         max_steps: int = 80_000_000) -> WorkloadResult:
+                         max_steps: int = 80_000_000,
+                         buffer_mode: BufferMode = BufferMode.WEAK,
+                         ) -> WorkloadResult:
     """Benchmark a shared-library function under a variant.
 
     * DBT variants build a guest binary importing the function; the
@@ -125,7 +141,7 @@ def run_library_workload(function_name: str, args: tuple[int, ...],
     """
     started = time.perf_counter()
     function = library[function_name]
-    engine = _make_engine(variant, 1, seed, costs)
+    engine = _make_engine(variant, 1, seed, costs, buffer_mode)
     memory = engine.machine.memory
     if setup_memory is not None:
         setup_memory(memory)

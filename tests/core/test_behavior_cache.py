@@ -1,0 +1,173 @@
+"""Behaviour-cache keying and persistence.
+
+Two concerns:
+
+* **Key identity** — the memo used to key on ``(program, model.name)``,
+  so an ablated/variant model that legitimately reuses a standard name
+  silently inherited the standard model's cached behaviours.  The key
+  is now a content fingerprint of the model; the regression tests here
+  fail under the old scheme.
+* **Disk layer** — behaviours persist across processes (and across
+  ``run_parallel`` workers) in ``REPRO_BEHAVIOR_CACHE``; entries must
+  survive in-memory clears, tolerate corruption, and honour the off
+  switch.
+"""
+
+import pytest
+
+from repro.core import ARM, ARM_ORIGINAL, SC, X86
+from repro.core import behavior_cache
+from repro.core import litmus_library as L
+from repro.core import mappings as M
+from repro.core.enumerate import (
+    behavior_cache_stats,
+    behaviors,
+    clear_behavior_cache,
+)
+from repro.core.litmus_library import R, W, outcome, shows, x86
+from repro.core.models.armcats import ArmModel
+
+
+@pytest.fixture
+def disk_cache(tmp_path, monkeypatch):
+    """Point the persistent layer at a private directory."""
+    monkeypatch.setenv(behavior_cache.ENV_VAR, str(tmp_path))
+    clear_behavior_cache()
+    yield tmp_path
+    clear_behavior_cache()
+
+
+@pytest.fixture
+def no_disk(monkeypatch):
+    monkeypatch.setenv(behavior_cache.ENV_VAR, "off")
+    clear_behavior_cache()
+    yield
+    clear_behavior_cache()
+
+
+class TestModelKeyCollision:
+    """Regression: cache key must be the model's content, not its name."""
+
+    def test_variant_model_with_reused_name_not_conflated(self, no_disk):
+        # The original Arm-Cats model (the paper's SBAL bug) dressed up
+        # under the corrected model's name.  Keying on (program, name)
+        # would hand it the corrected model's cached behaviours.
+        prog = M.armcats_intended.apply(L.SBAL.program)
+        weak = outcome(X=1, Y=1, T0_a=0, T1_b=0)
+
+        imposter = ArmModel(corrected=False)
+        imposter.name = ARM.name
+        assert imposter.name == "arm-cats"
+
+        corrected = behaviors(prog, ARM)          # populates the cache
+        impostor_behs = behaviors(prog, imposter)  # must NOT hit it
+        assert impostor_behs != corrected
+        assert not shows(corrected, weak)
+        assert shows(impostor_behs, weak)
+
+    def test_order_independent(self, no_disk):
+        # Same collision with the imposter populating the cache first.
+        prog = M.armcats_intended.apply(L.SBAL.program)
+        imposter = ArmModel(corrected=False)
+        imposter.name = ARM.name
+        first = behaviors(prog, imposter)
+        assert behaviors(prog, ARM) != first
+
+    def test_identical_config_still_shares_entries(self, no_disk):
+        # Two instances of the same class+config are the same model and
+        # must share one entry (the point of fingerprinting content).
+        prog = M.armcats_intended.apply(L.MP.program)
+        behaviors(prog, ArmModel(corrected=True))
+        before = behavior_cache_stats()
+        behaviors(prog, ArmModel(corrected=True))
+        after = behavior_cache_stats()
+        assert after.hits == before.hits + 1
+
+    def test_fingerprints_differ_between_variants(self):
+        assert ARM.fingerprint() != ARM_ORIGINAL.fingerprint()
+        imposter = ArmModel(corrected=False)
+        imposter.name = ARM.name
+        assert imposter.fingerprint() != ARM.fingerprint()
+        assert ArmModel(corrected=True).fingerprint() == \
+            ARM.fingerprint()
+
+
+class TestProgramFingerprint:
+    def test_name_excluded(self):
+        a = x86("first", (W("X", 1),), (R("a", "X"),))
+        b = x86("second", (W("X", 1),), (R("a", "X"),))
+        assert behavior_cache.program_fingerprint(a) == \
+            behavior_cache.program_fingerprint(b)
+
+    def test_content_included(self):
+        a = x86("p", (W("X", 1),))
+        b = x86("p", (W("X", 2),))
+        assert behavior_cache.program_fingerprint(a) != \
+            behavior_cache.program_fingerprint(b)
+
+
+class TestDiskLayer:
+    def test_entry_written_and_reloaded(self, disk_cache):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        first = behaviors(prog, X86)
+        assert list(disk_cache.glob("*.json"))
+        # A fresh in-process memo (a new worker) loads from disk.
+        clear_behavior_cache()
+        again = behaviors(prog, X86)
+        assert again == first
+        stats = behavior_cache_stats()
+        assert stats.disk_hits == 1
+        assert stats.disk_misses == 0
+
+    def test_memory_misses_split_into_disk_hits_and_misses(self,
+                                                           disk_cache):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        behaviors(prog, X86)
+        clear_behavior_cache()
+        behaviors(prog, X86)   # disk hit
+        behaviors(prog, SC)    # disk miss -> enumerate + store
+        stats = behavior_cache_stats()
+        assert stats.misses == 2
+        assert stats.disk_hits == 1
+        assert stats.disk_misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, disk_cache):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        expected = behaviors(prog, X86)
+        for path in disk_cache.glob("*.json"):
+            path.write_text("{not json")
+        clear_behavior_cache()
+        assert behaviors(prog, X86) == expected
+        assert behavior_cache_stats().disk_misses == 1
+
+    def test_distinct_models_get_distinct_entries(self, disk_cache):
+        prog = M.armcats_intended.apply(L.SBAL.program)
+        imposter = ArmModel(corrected=False)
+        imposter.name = ARM.name
+        corrected = behaviors(prog, ARM)
+        clear_behavior_cache()
+        # Imposter with the same name must not load ARM's disk entry.
+        assert behaviors(prog, imposter) != corrected
+
+    def test_off_switch_disables_persistence(self, no_disk):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        behaviors(prog, X86)
+        stats = behavior_cache_stats()
+        assert stats.disk_hits == 0
+        assert stats.disk_misses == 0
+        assert not behavior_cache.enabled()
+
+    def test_clear_disk_cache(self, disk_cache):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        behaviors(prog, X86)
+        assert behavior_cache.clear_disk_cache() >= 1
+        assert not list(disk_cache.glob("*.json"))
+
+    def test_clear_with_disk_flag(self, disk_cache):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        behaviors(prog, X86)
+        clear_behavior_cache(disk=True)
+        assert not list(disk_cache.glob("*.json"))
+
+    def test_cache_dir_override(self, disk_cache):
+        assert behavior_cache.cache_dir() == disk_cache

@@ -1,0 +1,139 @@
+"""Differential testing of the staged enumeration fast path.
+
+The staged enumerator (:func:`repro.core.enumerate.enumerate_consistent`)
+prunes rf candidates, derives forced coherence edges and runs a
+model-precheck before expanding coherence permutations.  Every prune is
+claimed to be sound — so the staged path must produce *bit-identical*
+behaviour sets to the naive rf × co cross product filtered through the
+model, for every litmus program and every model.  This module checks
+exactly that, plus the quantitative claim: on RMW/IRIW-class tests the
+fast path materializes strictly fewer executions than the naive count.
+
+The exhaustive sweep is marked ``slow`` (run with ``-m slow``); a
+representative subset runs in the default suite.
+"""
+
+import pytest
+
+from repro.core import ARM, ARM_ORIGINAL, SC, TCG, X86
+from repro.core.enumerate import (
+    EnumerationStats,
+    enumerate_consistent,
+    enumerate_executions,
+)
+from repro.core.litmus_library import ALL_TESTS
+
+#: The four models the paper's verification story rests on.
+PAPER_MODELS = {
+    "x86-tso": X86,
+    "tcg-ir": TCG,
+    "arm-cats": ARM,
+    "arm-cats-original": ARM_ORIGINAL,
+}
+
+#: Corpus tests whose inconsistencies surface already at the rf stage
+#: (RMW source conflicts, IRIW-style propagation) — the class the
+#: staged path must *strictly* shrink.  Tests like SB/S/R/2+2W (and
+#: S+rmw) only become inconsistent at the co choice itself, so their
+#: naive and staged counts legitimately coincide.
+REDUCTION_CLASS = (
+    "MPQ", "SBQ", "SBAL", "CAS-chain", "MP+rmw", "SB+rmw-one-side",
+    "IRIW", "IRIW+mfences", "Fig9-W-RMW", "Fig9-RMW-R",
+)
+
+#: Small but structurally diverse subset for the always-on check.
+FAST_SUBSET = (
+    "MP", "SB+mfences", "CoWR", "CAS-chain", "MPQ", "SBAL", "LB-IR",
+)
+
+
+def naive_behaviors(program, model) -> frozenset:
+    """The oracle: filter the full rf × co product through the model."""
+    return frozenset(
+        ex.full_behavior for ex in enumerate_executions(program)
+        if model.is_consistent(ex)
+    )
+
+
+def staged_behaviors(program, model, stats=None) -> frozenset:
+    return frozenset(
+        ex.full_behavior
+        for ex in enumerate_consistent(program, model, stats=stats)
+    )
+
+
+def assert_paths_agree(name: str, model) -> EnumerationStats:
+    test = ALL_TESTS[name]
+    stats = EnumerationStats()
+    staged = staged_behaviors(test.program, model, stats=stats)
+    naive = naive_behaviors(test.program, model)
+    assert staged == naive, (
+        f"{name} under {model.name}: staged behaviours diverge from "
+        f"the naive oracle\n  staged-only: {staged - naive}\n"
+        f"  naive-only:  {naive - staged}"
+    )
+    # The fast path must never do *more* work than the cross product.
+    assert stats.executions_enumerated <= stats.candidates_naive
+    return stats
+
+
+class TestDifferentialSubset:
+    """Always-on: representative corpus slice × every paper model."""
+
+    @pytest.mark.parametrize("model", list(PAPER_MODELS.values()),
+                             ids=list(PAPER_MODELS))
+    @pytest.mark.parametrize("name", FAST_SUBSET)
+    def test_staged_matches_naive(self, name, model):
+        assert_paths_agree(name, model)
+
+    def test_sc_model_agrees_too(self):
+        # SC is not a paper model but supports the staged path; keep it
+        # honest on a coherence-heavy test.
+        assert_paths_agree("CoRR", SC)
+
+
+@pytest.mark.slow
+class TestDifferentialExhaustive:
+    """Every litmus program × every paper model, staged == naive.
+
+    Parametrized by model name so the CI matrix can fan the sweep out
+    with ``-k`` on the model id.
+    """
+
+    @pytest.mark.parametrize("model_name", list(PAPER_MODELS))
+    @pytest.mark.parametrize("name", sorted(ALL_TESTS))
+    def test_staged_matches_naive(self, name, model_name):
+        assert_paths_agree(name, PAPER_MODELS[model_name])
+
+
+class TestStrictReduction:
+    """The headline saving: RMW/IRIW-class tests must materialize
+    strictly fewer executions than the naive cross product, per test,
+    aggregated over the four paper models."""
+
+    @pytest.mark.parametrize("name", REDUCTION_CLASS)
+    def test_reduction_class_shrinks(self, name):
+        total = EnumerationStats()
+        for model in PAPER_MODELS.values():
+            stats = EnumerationStats()
+            staged_behaviors(ALL_TESTS[name].program, model, stats=stats)
+            total.merge(stats)
+        assert total.executions_enumerated < total.candidates_naive, (
+            f"{name}: staged path materialized the whole naive product "
+            f"({total.executions_enumerated} of "
+            f"{total.candidates_naive})"
+        )
+
+    def test_reduction_is_observable_in_counters(self):
+        # MPQ's saving is an rf-stage precheck cut; CAS-chain's comes
+        # from forced coherence shrinking the linear-extension count.
+        stats = EnumerationStats()
+        staged_behaviors(ALL_TESTS["MPQ"].program, X86, stats=stats)
+        assert stats.rf_rejected_precheck > 0
+        assert stats.pruned_fraction > 0.0
+
+        stats = EnumerationStats()
+        staged_behaviors(ALL_TESTS["CAS-chain"].program, X86,
+                         stats=stats)
+        assert stats.executions_enumerated < stats.candidates_naive
+        assert stats.pruned_fraction > 0.0

@@ -1,0 +1,163 @@
+"""Property-based tests for the store-buffer drain semantics.
+
+The WEAK-mode buffer may drain out of order across locations, but two
+invariants must survive *every* drain schedule:
+
+* **DMBST** — entries pushed after a barrier marker never reach memory
+  before an entry pushed before it;
+* **coherence** — same-location entries drain in push order.
+
+Hypothesis drives arbitrary push/barrier programs and arbitrary drain
+schedules through the buffer and checks the committed write order; a
+stress-litmus section then runs DMBST-emitting mapped programs on the
+full machine and compares against the axiomatic Arm model.
+"""
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ARM
+from repro.core import litmus_library as L
+from repro.core import mappings as M
+from repro.core.enumerate import behaviors
+from repro.machine.litmus import run_stress
+from repro.machine.weakmem import BufferMode, StoreBuffer
+
+ADDRS = (4096, 4104, 4112)
+
+#: A buffer program: each element is an address to store to, or None
+#: for a DMBST barrier.  Values are assigned serially, so every push
+#: is unique and the commit log reconstructs push identity.
+programs = st.lists(
+    st.one_of(st.sampled_from(ADDRS), st.none()),
+    min_size=1, max_size=12,
+)
+
+
+class _CommitLog:
+    """Memory stand-in that records the order stores hit it."""
+
+    def __init__(self):
+        self.commits: list[tuple[int, int]] = []
+
+    def store_word(self, addr: int, value: int) -> None:
+        self.commits.append((addr, value))
+
+
+def _run_program(ops, seed: int, drain_all_tail: bool = False):
+    """Push the program, drain it fully, return (pushes, commits).
+
+    ``pushes`` maps the serial value of each store to its barrier
+    group — the number of DMBST markers pushed before it.
+    """
+    buffer = StoreBuffer(mode=BufferMode.WEAK)
+    log = _CommitLog()
+    rng = Random(seed)
+    group: dict[int, int] = {}
+    addr_of: dict[int, int] = {}
+    barriers = 0
+    for serial, op in enumerate(ops):
+        if op is None:
+            buffer.barrier()
+            barriers += 1
+        else:
+            buffer.push(op, serial)
+            group[serial] = barriers
+            addr_of[serial] = op
+    if drain_all_tail:
+        # A random drain_one prefix, then a DMBFF-style flush.
+        for _ in range(rng.randrange(len(ops) + 1)):
+            if not buffer.drain_one(log, rng):
+                break
+        buffer.drain_all(log)
+    else:
+        while buffer.drain_one(log, rng):
+            pass
+    assert buffer.pending() == 0
+    return group, addr_of, log.commits
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=programs, seed=st.integers(0, 2**16))
+def test_dmbst_orders_cross_barrier_stores(ops, seed):
+    group, _, commits = _run_program(ops, seed)
+    assert len(commits) == len(group)
+    committed_groups = [group[val] for _, val in commits]
+    # No post-barrier store before a pre-barrier one: the barrier-group
+    # sequence of the commit log must be non-decreasing.
+    assert committed_groups == sorted(committed_groups), (
+        f"barrier violated: program {ops}, commit groups "
+        f"{committed_groups}"
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=programs, seed=st.integers(0, 2**16))
+def test_same_location_drains_in_push_order(ops, seed):
+    group, addr_of, commits = _run_program(ops, seed)
+    for addr in ADDRS:
+        committed = [val for a, val in commits if a == addr]
+        pushed = [val for val in sorted(group) if addr_of[val] == addr]
+        assert committed == pushed
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=programs, seed=st.integers(0, 2**16))
+def test_invariants_survive_drain_all_flush(ops, seed):
+    group, addr_of, commits = _run_program(ops, seed,
+                                           drain_all_tail=True)
+    committed_groups = [group[val] for _, val in commits]
+    assert committed_groups == sorted(committed_groups)
+    for addr in ADDRS:
+        committed = [val for a, val in commits if a == addr]
+        pushed = [val for val in sorted(group) if addr_of[val] == addr]
+        assert committed == pushed
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=programs)
+def test_forwarding_sees_latest_own_store(ops):
+    buffer = StoreBuffer(mode=BufferMode.WEAK)
+    latest: dict[int, int] = {}
+    for serial, op in enumerate(ops):
+        if op is None:
+            buffer.barrier()
+        else:
+            buffer.push(op, serial)
+            latest[op] = serial
+    for addr in ADDRS:
+        assert buffer.forward(addr) == latest.get(addr)
+
+
+class TestDmbstStressVsAxiomaticModel:
+    """Machine runs of DMBST-emitting programs stay inside the
+    axiomatic Arm envelope (Risotto's WMOV lowering is Fww; st ->
+    DMBST; STR, so these programs exercise the barrier marker on the
+    real drain path, not just the unit buffer)."""
+
+    def _observed_subset(self, test):
+        prog = M.risotto_x86_to_arm_rmw1.apply(test.program)
+        observed = run_stress(prog, iterations=96, seeds=range(6))
+        allowed = behaviors(prog, ARM)
+        stray = [o for o in observed if o not in allowed]
+        assert not stray, (
+            f"{test.name}: machine produced outcomes the Arm model "
+            f"forbids: {stray}"
+        )
+
+    def test_mp_dmbst_observed_subset(self):
+        self._observed_subset(L.MP)
+
+    def test_2plus2w_dmbst_observed_subset(self):
+        self._observed_subset(L.W2PLUS2)
+
+    def test_mp_store_side_never_reorders(self):
+        # With DMBST between the two stores, the machine must never
+        # commit Y=1 before X=1 — the weak MP outcome needs exactly
+        # that reordering (loads execute in order operationally).
+        from repro.core.litmus_library import outcome, shows
+        prog = M.risotto_x86_to_arm_rmw1.apply(L.MP.program)
+        observed = run_stress(prog, iterations=128, seeds=range(8))
+        assert not shows(observed, outcome(T1_a=1, T1_b=0))
