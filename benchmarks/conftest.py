@@ -10,7 +10,19 @@ import pathlib
 
 import pytest
 
+from repro.analysis.export import write_bench_json
+from repro.obs.trace import flush_env_trace
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _flush_trace():
+    """REPRO_TRACE=1 runs flush their trace to results/trace.json
+    (or REPRO_TRACE_FILE) when the harness session ends; a no-op with
+    tracing disabled."""
+    yield
+    flush_env_trace(str(RESULTS_DIR / "trace.json"))
 
 
 @pytest.fixture(scope="session")
@@ -27,5 +39,19 @@ def emit_report(results_dir, capsys):
         (results_dir / f"{name}.txt").write_text(text + "\n")
         with capsys.disabled():
             print("\n" + text)
+
+    return emit
+
+
+@pytest.fixture
+def emit_bench(results_dir):
+    """Write a figure's machine-readable export to
+    results/bench_<figure>.json (see repro.analysis.export)."""
+
+    def emit(figure: str, table=None, sweep=None, series=None,
+             extra=None) -> pathlib.Path:
+        return write_bench_json(
+            results_dir / f"bench_{figure}.json", figure,
+            table=table, sweep=sweep, series=series, extra=extra)
 
     return emit

@@ -31,12 +31,19 @@ def fig12_table(fig12_sweep) -> BenchTable:
     return BenchTable.from_rows("figure12", fig12_sweep)
 
 
-def test_figure12(benchmark, fig12_sweep, fig12_table, emit_report):
+def test_figure12(benchmark, fig12_sweep, fig12_table, emit_report,
+                  emit_bench):
     table = benchmark.pedantic(lambda: fig12_table, rounds=1,
                                iterations=1)
     report = figure12_report(table) + "\n" + \
         run_stats_footer(fig12_sweep, "figure 12 harness stats")
     emit_report("figure12_parsec_phoenix", report)
+    emit_bench("fig12", table=table, sweep=fig12_sweep)
+
+    # --- provenance: origin buckets partition the fence cycles ------
+    for row in fig12_sweep:
+        assert sum(row.fence_origin_cycles.values()) == \
+            row.fence_cycles, (row.benchmark, row.variant)
 
     # --- correctness: every variant computes the same checksum ------
     for bench in table.benchmarks():
@@ -63,6 +70,32 @@ def test_figure12(benchmark, fig12_sweep, fig12_table, emit_report):
     benchmark.extra_info["avg_tcgver_gain"] = round(avg_gain, 4)
     benchmark.extra_info["max_tcgver_gain"] = round(max_gain, 4)
     benchmark.extra_info["max_fence_share"] = round(worst_share, 4)
+
+
+def test_figure12_chrome_trace(results_dir):
+    """One small kernel run with tracing on, exported as a Chrome
+    ``trace_event`` file and schema-validated — the loadable artefact
+    CI uploads.  Runs in-process (a worker pool cannot share the
+    tracer's event buffer)."""
+    from repro.obs.trace import Tracer, install_tracer, \
+        validate_chrome_trace
+    from repro.workloads import SPEC_BY_NAME, run_kernel
+
+    tracer = Tracer()
+    previous = install_tracer(tracer)
+    try:
+        run_kernel(SPEC_BY_NAME["histogram"], "risotto", seed=7)
+    finally:
+        # restore rather than disable: a REPRO_TRACE=1 session keeps
+        # its env tracer for the rest of the harness.
+        install_tracer(previous)
+    assert tracer.events, "tracing enabled but no events recorded"
+    path = results_dir / "trace_fig12.json"
+    tracer.write_chrome(path)
+    validate_chrome_trace(path)
+    names = {e["name"] for e in tracer.events}
+    assert "dbt.translate" in names
+    assert "machine.run" in names
 
 
 def test_linker_has_no_overhead_when_unused(benchmark, fig12_table):

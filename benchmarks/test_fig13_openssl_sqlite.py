@@ -49,7 +49,8 @@ def fig13_table(fig13_sweep) -> BenchTable:
     return BenchTable.from_rows("figure13", fig13_sweep)
 
 
-def test_figure13(benchmark, fig13_sweep, fig13_table, emit_report):
+def test_figure13(benchmark, fig13_sweep, fig13_table, emit_report,
+                  emit_bench):
     table = benchmark.pedantic(lambda: fig13_table, rounds=1,
                                iterations=1)
     report = speedup_report(
@@ -58,6 +59,7 @@ def test_figure13(benchmark, fig13_sweep, fig13_table, emit_report):
         "(higher is better)") + "\n" + \
         run_stats_footer(fig13_sweep, "figure 13 harness stats")
     emit_report("figure13_openssl_sqlite", report)
+    emit_bench("fig13", table=table, sweep=fig13_sweep)
 
     # --- correctness: linked and translated results agree -----------
     for bench in table.benchmarks():

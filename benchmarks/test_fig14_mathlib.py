@@ -43,7 +43,8 @@ def fig14_table(fig14_sweep) -> BenchTable:
     return BenchTable.from_rows("figure14", fig14_sweep)
 
 
-def test_figure14(benchmark, fig14_sweep, fig14_table, emit_report):
+def test_figure14(benchmark, fig14_sweep, fig14_table, emit_report,
+                  emit_bench):
     table = benchmark.pedantic(lambda: fig14_table, rounds=1,
                                iterations=1)
     report = speedup_report(
@@ -52,6 +53,7 @@ def test_figure14(benchmark, fig14_sweep, fig14_table, emit_report):
         + "\n" + run_stats_footer(fig14_sweep,
                                   "figure 14 harness stats")
     emit_report("figure14_mathlib", report)
+    emit_bench("fig14", table=table, sweep=fig14_sweep)
 
     # --- correctness --------------------------------------------------
     for fn in FUNCTIONS:

@@ -41,12 +41,16 @@ def fig15_series(fig15_sweep) -> dict:
     return series
 
 
-def test_figure15(benchmark, fig15_sweep, fig15_series, emit_report):
+def test_figure15(benchmark, fig15_sweep, fig15_series, emit_report,
+                  emit_bench):
     series = benchmark.pedantic(lambda: fig15_series, rounds=1,
                                 iterations=1)
     report = figure15_report(series) + "\n" + \
         run_stats_footer(fig15_sweep, "figure 15 harness stats")
     emit_report("figure15_cas", report)
+    emit_bench("fig15", sweep=fig15_sweep,
+               series={v: [[label, tput] for label, tput in points]
+                       for v, points in series.items()})
 
     qemu = dict(series["qemu"])
     risotto = dict(series["risotto"])

@@ -23,7 +23,7 @@ def ablation_sweep():
 
 
 def test_every_fence_is_necessary(benchmark, ablation_sweep,
-                                  emit_report):
+                                  emit_report, emit_bench):
     sweep = benchmark.pedantic(lambda: ablation_sweep, rounds=1,
                                iterations=1)
     lines = ["Minimality ablation — removing any Figure 7 fence class "
@@ -33,6 +33,9 @@ def test_every_fence_is_necessary(benchmark, ablation_sweep,
         lines.append(f"{row.benchmark:40s}{', '.join(row.payload)}")
     lines.append(run_stats_footer(sweep, "ablation harness stats"))
     emit_report("minimality_ablation", "\n".join(lines))
+    emit_bench("minimality_ablation", sweep=sweep,
+               extra={"broken_tests": {row.benchmark: list(row.payload)
+                                       for row in sweep}})
 
     for row in sweep:
         assert row.payload, f"{row.benchmark}: no test broke"

@@ -1,5 +1,11 @@
 """Result aggregation and paper-style reporting."""
 
+from .export import (
+    BENCH_SCHEMA,
+    bench_payload,
+    load_bench_json,
+    write_bench_json,
+)
 from .report import (
     figure12_report,
     figure15_report,
@@ -10,6 +16,8 @@ from .report import (
 from .stats import BenchRow, BenchTable, SweepStats, aggregate_sweep
 
 __all__ = [
+    "BENCH_SCHEMA", "bench_payload", "load_bench_json",
+    "write_bench_json",
     "BenchRow", "BenchTable", "SweepStats", "aggregate_sweep",
     "figure12_report", "figure15_report", "mapping_table_report",
     "run_stats_footer", "speedup_report",

@@ -1,0 +1,131 @@
+"""Machine-readable export of benchmark results.
+
+Every figure harness writes one ``results/bench_<figure>.json`` next
+to its text report so downstream tooling (plotting, CI artefact diffs,
+:mod:`repro.analysis.obsreport`) never has to scrape the text tables.
+The payload is schema-versioned: consumers check ``schema`` and reject
+what they do not understand instead of misreading it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ReproError
+from .stats import BenchTable, aggregate_sweep
+
+#: Version tag of the export payload.  Bump on breaking layout change.
+BENCH_SCHEMA = "repro-bench/1"
+
+
+def _table_rows(table: BenchTable) -> list[dict]:
+    rows = []
+    for (benchmark, variant), row in sorted(table.rows.items()):
+        rows.append({
+            "benchmark": benchmark,
+            "variant": variant,
+            "cycles": row.cycles,
+            "fence_cycles": row.fence_cycles,
+            "total_cycles": row.total_cycles,
+            "fence_share": row.fence_share,
+            "checksum": row.checksum,
+            "fence_cycles_by_origin": dict(
+                sorted(row.fence_origin_cycles.items())),
+        })
+    return rows
+
+
+def _sweep_stats(sweep) -> dict:
+    stats = aggregate_sweep(sweep)
+    return {
+        "runs": stats.runs,
+        "failed_runs": stats.failed_runs,
+        "workers": stats.workers,
+        "wall_seconds": stats.wall_seconds,
+        "run_seconds": stats.run_seconds,
+        "blocks_translated": stats.blocks_translated,
+        "guest_insns_translated": stats.guest_insns_translated,
+        "block_dispatches": stats.block_dispatches,
+        "chained_dispatches": stats.chained_dispatches,
+        "helper_calls": stats.helper_calls,
+        "opt_folded": stats.opt_folded,
+        "opt_mem_eliminated": stats.opt_mem_eliminated,
+        "opt_fences_merged": stats.opt_fences_merged,
+        "opt_dead_removed": stats.opt_dead_removed,
+        "fence_cycles": stats.fence_cycles,
+        "total_cycles": stats.total_cycles,
+        "fence_cycles_by_origin": dict(
+            sorted(stats.fence_cycles_by_origin.items())),
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+        "enum_candidates_naive": stats.enum_candidates_naive,
+        "enum_executions": stats.enum_executions,
+    }
+
+
+def bench_payload(figure: str, table: BenchTable | None = None,
+                  sweep=None, series: dict | None = None,
+                  extra: dict | None = None) -> dict:
+    """Assemble the export dict for one figure.
+
+    ``table`` contributes per-cell rows, ``sweep`` the harness-level
+    aggregate (including the sweep-wide metrics snapshot when the
+    sweep carries one), ``series``/``extra`` free-form figure data
+    (e.g. Figure 15's throughput curves or prose numbers).
+    """
+    payload: dict = {"schema": BENCH_SCHEMA, "figure": figure}
+    if table is not None:
+        payload["baseline"] = table.baseline
+        payload["rows"] = _table_rows(table)
+    if sweep is not None:
+        payload["stats"] = _sweep_stats(sweep)
+        metrics = getattr(sweep, "metrics", None)
+        if metrics:
+            payload["metrics"] = metrics
+        failures = getattr(sweep, "failures", ())
+        if failures:
+            payload["failures"] = [str(f) for f in failures]
+        hot = {
+            f"{row.benchmark}/{row.variant}": [
+                list(entry) for entry in row.hot_blocks
+            ]
+            for row in sweep
+            if getattr(row, "hot_blocks", ())
+        }
+        if hot:
+            payload["hot_blocks"] = hot
+    if series is not None:
+        payload["series"] = series
+    if extra:
+        payload["extra"] = extra
+    return payload
+
+
+def write_bench_json(path, figure: str, table: BenchTable | None = None,
+                     sweep=None, series: dict | None = None,
+                     extra: dict | None = None) -> Path:
+    """Write the figure's export payload; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = bench_payload(figure, table=table, sweep=sweep,
+                            series=series, extra=extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False)
+                    + "\n")
+    return path
+
+
+def load_bench_json(path) -> dict:
+    """Load and schema-check one ``bench_*.json`` payload."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read bench json {path}: {exc}") \
+            from None
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema != BENCH_SCHEMA:
+        raise ReproError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(expected {BENCH_SCHEMA!r})")
+    return payload

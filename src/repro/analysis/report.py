@@ -14,6 +14,30 @@ def _fmt_pct(x: float) -> str:
     return f"{100 * x:6.1f}%"
 
 
+def _fence_origin_lines(by_origin: dict, total: int,
+                        indent: str = "  ") -> str:
+    """Render a fence-by-origin breakdown, largest bucket first.
+
+    The buckets partition ``total`` exactly (each executed DMB is
+    charged to one origin), so the percentages are of the fence
+    cycles, not of total run time.
+    """
+    ranked = sorted(by_origin.items(),
+                    key=lambda item: (-item[1], item[0]))
+    lines = ["fence cycles by origin:"]
+    for origin, cycles in ranked:
+        share = cycles / total if total else 0.0
+        lines.append(
+            f"{indent}{origin:<24s} {cycles:>12d} "
+            f"({_fmt_pct(share).strip()})")
+    accounted = sum(by_origin.values())
+    if accounted != total:
+        lines.append(
+            f"{indent}[unaccounted]            "
+            f"{total - accounted:>12d}")
+    return "\n".join(lines)
+
+
 def run_stats_footer(sweep, title: str = "harness stats") -> str:
     """The timing/observability footer every figure harness prints.
 
@@ -29,6 +53,11 @@ def run_stats_footer(sweep, title: str = "harness stats") -> str:
         f"wall: {stats.wall_seconds:.2f}s   "
         f"sum of per-run wall: {stats.run_seconds:.2f}s",
     ]
+    if stats.failed_runs:
+        failures = getattr(sweep, "failures", ())
+        lines.append(f"FAILED runs: {stats.failed_runs}")
+        for failure in failures:
+            lines.append(f"  {failure}")
     if stats.blocks_translated or stats.block_dispatches:
         lines.append(
             f"translated: {stats.blocks_translated} blocks / "
@@ -45,6 +74,9 @@ def run_stats_footer(sweep, title: str = "harness stats") -> str:
         lines.append(
             f"fence cycles: {_fmt_pct(stats.fence_share).strip()} "
             f"of {stats.total_cycles} total cycles")
+    if stats.fence_cycles_by_origin:
+        lines.append(_fence_origin_lines(
+            stats.fence_cycles_by_origin, stats.fence_cycles))
     if stats.cache_hits or stats.cache_misses:
         line = (
             f"behavior cache: {stats.cache_hits} hits / "
@@ -93,6 +125,17 @@ def figure12_report(table: BenchTable) -> str:
             f"{_fmt_pct(table.average_fence_share('qemu'))} "
             f"(paper: 48%), max {_fmt_pct(share)} on {worst} "
             f"(paper: 75% on freqmine)")
+    for variant in ("qemu", "risotto"):
+        if variant not in table.variants():
+            continue
+        by_origin = table.fence_cycles_by_origin(variant)
+        if not by_origin:
+            continue
+        total = table.fence_cycles_total(variant)
+        lines.append(_fence_origin_lines(
+            by_origin, total).replace(
+                "fence cycles by origin:",
+                f"fence cycles by origin ({variant}):", 1))
     return "\n".join(lines)
 
 

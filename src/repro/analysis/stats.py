@@ -11,6 +11,8 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
+from ..errors import ReproError
+
 
 @dataclass
 class BenchRow:
@@ -22,6 +24,8 @@ class BenchRow:
     fence_cycles: int = 0
     total_cycles: int = 0
     checksum: int | None = None
+    #: Fence cycles by provenance tag; sums to ``fence_cycles``.
+    fence_origin_cycles: dict = field(default_factory=dict)
 
     @property
     def fence_share(self) -> float:
@@ -56,6 +60,8 @@ class BenchTable:
                 fence_cycles=row.fence_cycles,
                 total_cycles=row.total_cycles,
                 checksum=row.checksum,
+                fence_origin_cycles=dict(
+                    getattr(row, "fence_origin_cycles", {}) or {}),
             ))
         return table
 
@@ -73,7 +79,33 @@ class BenchTable:
         return list(seen)
 
     def cycles(self, benchmark: str, variant: str) -> int:
-        return self.rows[(benchmark, variant)].cycles
+        row = self.rows.get((benchmark, variant))
+        if row is None:
+            raise ReproError(
+                f"table {self.name!r} has no row for benchmark "
+                f"{benchmark!r} variant {variant!r}")
+        return row.cycles
+
+    def _cells(self, variant: str,
+               need_baseline: bool = False) -> list[str]:
+        """Benchmarks with a cell for ``variant`` (and, if asked, the
+        baseline too).  Sparse tables — e.g. a sweep with failed runs —
+        aggregate over what is present instead of raising ``KeyError``;
+        a variant with no rows at all is a harness bug and errors."""
+        if variant not in self.variants():
+            raise ReproError(
+                f"table {self.name!r} has no rows for variant "
+                f"{variant!r} (variants present: {self.variants()})")
+        cells = [
+            b for b in self.benchmarks()
+            if (b, variant) in self.rows
+            and (not need_baseline or (b, self.baseline) in self.rows)
+        ]
+        if not cells:
+            raise ReproError(
+                f"table {self.name!r}: no benchmark has both "
+                f"{variant!r} and baseline {self.baseline!r} rows")
+        return cells
 
     # ------------------------------------------------------------------
     def relative_runtime(self, benchmark: str, variant: str) -> float:
@@ -93,25 +125,44 @@ class BenchTable:
     # ------------------------------------------------------------------
     def average_gain(self, variant: str) -> float:
         return statistics.mean(
-            self.gain(b, variant) for b in self.benchmarks())
+            self.gain(b, variant)
+            for b in self._cells(variant, need_baseline=True))
 
     def max_gain(self, variant: str) -> float:
-        return max(self.gain(b, variant) for b in self.benchmarks())
+        return max(self.gain(b, variant)
+                   for b in self._cells(variant, need_baseline=True))
 
     def average_relative(self, variant: str) -> float:
         return statistics.mean(
             self.relative_runtime(b, variant)
-            for b in self.benchmarks())
+            for b in self._cells(variant, need_baseline=True))
 
     def average_fence_share(self, variant: str) -> float:
         return statistics.mean(
             self.rows[(b, variant)].fence_share
-            for b in self.benchmarks())
+            for b in self._cells(variant))
 
     def max_fence_share(self, variant: str) -> tuple[str, float]:
-        best = max(self.benchmarks(),
+        best = max(self._cells(variant),
                    key=lambda b: self.rows[(b, variant)].fence_share)
         return best, self.rows[(best, variant)].fence_share
+
+    def fence_cycles_by_origin(self, variant: str) -> dict[str, int]:
+        """Fence cycles summed over benchmarks, split by provenance.
+
+        Values total exactly the variant's summed ``fence_cycles`` —
+        each executed DMB is charged to one origin bucket.
+        """
+        merged: dict[str, int] = {}
+        for b in self._cells(variant):
+            for origin, cycles in \
+                    self.rows[(b, variant)].fence_origin_cycles.items():
+                merged[origin] = merged.get(origin, 0) + cycles
+        return merged
+
+    def fence_cycles_total(self, variant: str) -> int:
+        return sum(self.rows[(b, variant)].fence_cycles
+                   for b in self._cells(variant))
 
     def checksums_consistent(self, benchmark: str) -> bool:
         values = {
@@ -148,6 +199,11 @@ class SweepStats:
     enum_executions: int = 0
     enum_rf_pruned: int = 0
     enum_rf_rejected: int = 0
+    #: Fence cycles by provenance tag, summed over the sweep's rows;
+    #: values total exactly ``fence_cycles`` when every row is tagged.
+    fence_cycles_by_origin: dict = field(default_factory=dict)
+    #: Runs that died in a worker (see SweepResult.failures).
+    failed_runs: int = 0
 
     @property
     def fence_share(self) -> float:
@@ -183,6 +239,7 @@ def aggregate_sweep(sweep) -> SweepStats:
     stats = SweepStats(
         workers=getattr(sweep, "workers", 1),
         wall_seconds=getattr(sweep, "wall_seconds", 0.0),
+        failed_runs=len(getattr(sweep, "failures", ())),
     )
     for row in sweep:
         stats.runs += 1
@@ -209,4 +266,8 @@ def aggregate_sweep(sweep) -> SweepStats:
         stats.enum_executions += getattr(row, "enum_executions", 0)
         stats.enum_rf_pruned += getattr(row, "enum_rf_pruned", 0)
         stats.enum_rf_rejected += getattr(row, "enum_rf_rejected", 0)
+        by_origin = getattr(row, "fence_origin_cycles", None) or {}
+        for origin, cycles in by_origin.items():
+            stats.fence_cycles_by_origin[origin] = \
+                stats.fence_cycles_by_origin.get(origin, 0) + cycles
     return stats

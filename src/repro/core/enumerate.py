@@ -46,6 +46,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..errors import ModelError
+from ..obs.trace import get_tracer
 from . import behavior_cache
 from .events import INIT_TID, Event, Mode, RmwFlavor
 from .execution import Execution
@@ -583,9 +584,18 @@ def enumerate_consistent(program: Program, model,
         return
 
     run = EnumerationStats()
+    tracer = get_tracer()
     try:
-        yield from _enumerate_staged(program, model, limit, run)
+        with tracer.span("enum.staged", cat="enum",
+                         program=program.name):
+            yield from _enumerate_staged(program, model, limit, run)
     finally:
+        if tracer.enabled:
+            tracer.counter(
+                "enum.stats", combos=run.combos,
+                rf_choices=run.rf_choices,
+                executions=run.executions_enumerated,
+                consistent=run.consistent)
         _ENUM_STATS.merge(run)
         if stats is not None:
             stats.merge(run)
@@ -594,8 +604,14 @@ def enumerate_consistent(program: Program, model,
 def _enumerate_staged(program: Program, model, limit: int,
                       stats: EnumerationStats):
     produced = 0
+    tracer = get_tracer()
+    trace_stages = tracer.enabled
     for graph in _combo_graphs(program):
         stats.combos += 1
+        if trace_stages:
+            tracer.instant("enum.combo", cat="enum",
+                           combo=stats.combos,
+                           reads=len(graph.reads))
 
         # Arithmetic size of the naive cross product for this combo:
         # Π (value-matching sources per read) × Π (n-1)! co orders.

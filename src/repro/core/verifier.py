@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ModelError
+from ..obs.trace import get_tracer
 from .enumerate import behaviors
 from .events import Fence, RmwFlavor
 from .litmus_library import LitmusTest, shows
@@ -96,8 +97,13 @@ def check_translation(source: Program, target: Program,
     the candidate-enumeration safety valve for *both* programs — mapped
     targets blow up faster than their sources.
     """
-    src_behs = behaviors(source, src_model, limit=limit)
-    tgt_behs = behaviors(target, tgt_model, limit=limit)
+    tracer = get_tracer()
+    with tracer.span("verify.source_behaviors", cat="verify",
+                     test=source.name, mapping=mapping_name):
+        src_behs = behaviors(source, src_model, limit=limit)
+    with tracer.span("verify.target_behaviors", cat="verify",
+                     test=source.name, mapping=mapping_name):
+        tgt_behs = behaviors(target, tgt_model, limit=limit)
 
     src_keys = _behavior_keys(src_behs)
     tgt_keys = _behavior_keys(tgt_behs)

@@ -20,6 +20,7 @@ from ..isa.arm.assembler import assemble as assemble_arm
 from ..machine.scheduler import Machine
 from ..machine.timing import CostModel, DEFAULT_COSTS
 from ..machine.weakmem import BufferMode
+from ..obs.trace import get_tracer
 from ..tcg.backend_arm import ArmBackend, CompiledBlock
 from ..tcg.frontend_x86 import X86Frontend
 from ..tcg.optimizer import OptStats, optimize
@@ -39,6 +40,12 @@ class RunResult:
     opt_stats: OptStats
     exit_code: int
     output: list[int] = field(default_factory=list)
+    #: Fence cycles split by provenance tag (mapping rule or optimizer
+    #: decision); values sum exactly to ``fence_cycles``.
+    fence_cycles_by_origin: dict[str, int] = field(default_factory=dict)
+    #: Hot-block profile: guest pc -> (dispatches, attributed cycles).
+    block_profile: dict[int, tuple[int, int]] = field(
+        default_factory=dict)
 
     @property
     def fence_share(self) -> float:
@@ -92,12 +99,18 @@ class DBTEngine:
 
     def _translate(self, guest_pc: int) -> int:
         """Translate one guest block; returns its host address."""
-        block = self.frontend.translate_block(
-            self.machine.memory, guest_pc)
-        stats = optimize(block, self.config.optimizer)
-        self.opt_stats.merge(stats)
-        compiled = self.backend.compile_block(block)
-        host_pc = self._install(compiled)
+        tracer = get_tracer()
+        with tracer.span("dbt.translate", cat="dbt", pc=guest_pc):
+            with tracer.span("dbt.frontend", cat="dbt", pc=guest_pc):
+                block = self.frontend.translate_block(
+                    self.machine.memory, guest_pc)
+            with tracer.span("dbt.optimize", cat="dbt", pc=guest_pc):
+                stats = optimize(block, self.config.optimizer)
+            self.opt_stats.merge(stats)
+            with tracer.span("dbt.backend", cat="dbt", pc=guest_pc):
+                compiled = self.backend.compile_block(block)
+            with tracer.span("dbt.install", cat="dbt", pc=guest_pc):
+                host_pc = self._install(compiled)
         self.runtime.stats.blocks_translated += 1
         self.runtime.stats.guest_insns_translated += block.guest_insns
         return host_pc
@@ -125,8 +138,32 @@ class DBTEngine:
                 f"{len(final.code)} bytes but {len(probe.code)} were "
                 f"allocated from the probe pass"
             )
+        self._register_fence_origins(compiled, final)
         self.machine.memory.add_image(host_pc, final.code)
         return host_pc
+
+    def _register_fence_origins(self, compiled: CompiledBlock,
+                                final) -> None:
+        """Map each installed DMB's host address to its provenance.
+
+        The backend records origins in DMB emission order; the
+        assembler preserves instruction order, so zipping the
+        assembled ``dmb*`` addresses with that list is exact.  A
+        drift between the two would mis-attribute fence cycles
+        silently, hence the hard check.
+        """
+        dmb_addrs = [
+            addr for insn, addr in zip(final.insns, final.addresses)
+            if insn.mnemonic.startswith("dmb")
+        ]
+        if len(dmb_addrs) != len(compiled.fence_origins):
+            raise TranslationError(
+                f"block @{compiled.guest_pc:#x}: {len(dmb_addrs)} "
+                f"assembled DMBs but {len(compiled.fence_origins)} "
+                f"recorded fence origins")
+        for addr, origin in zip(dmb_addrs, compiled.fence_origins):
+            if origin is not None:
+                self.machine.fence_origins[addr] = origin
 
     # ------------------------------------------------------------------
     def run(self, entry_pc: int,
@@ -142,6 +179,9 @@ class DBTEngine:
             opt_stats=self.opt_stats,
             exit_code=self.runtime.threads[main.tid].exit_code,
             output=self.runtime.stats.output,
+            fence_cycles_by_origin=(
+                self.machine.total_fence_cycles_by_origin()),
+            block_profile=self.runtime.block_profile_snapshot(),
         )
 
 
@@ -191,4 +231,6 @@ class NativeRunner:
             opt_stats=OptStats(),
             exit_code=self.runtime.threads[main.tid].exit_code,
             output=self.runtime.stats.output,
+            fence_cycles_by_origin=(
+                self.machine.total_fence_cycles_by_origin()),
         )

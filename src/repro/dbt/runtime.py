@@ -110,6 +110,15 @@ class Runtime:
         self._next_code = CODE_CACHE_BASE
         #: guest pc -> host pc of the translated block
         self.block_map: dict[int, int] = {}
+        #: Hot-block profile: guest pc -> [dispatches, attributed
+        #: cycles].  Cycles accrue on the *next* dispatch of the same
+        #: core (or thread exit): the delta of the core clock since
+        #: block entry, so host-lib time between dispatches stays
+        #: unattributed rather than inflating the calling block.
+        self.block_profile: dict[int, list[int]] = {}
+        #: core id -> (guest pc, core cycles at entry) of the block
+        #: that core is currently executing.
+        self._profile_open: dict[int, tuple[int, int]] = {}
         #: guest pcs whose direct (goto_tb) dispatch is already chained
         self._chained: set[int] = set()
         #: guest pc -> PLT thunk callable(core) (host linker entries)
@@ -262,6 +271,7 @@ class Runtime:
         return None
 
     def _finish_thread(self, core: ArmCore, exit_code: int) -> None:
+        self._profile_close(core)
         thread = self._thread_of(core)
         if thread:
             thread.finished = True
@@ -339,8 +349,10 @@ class Runtime:
             return
         thunk = self.plt_thunks.get(guest_pc)
         if thunk is not None:
+            self._profile_close(core)
             thunk(core)
             return
+        self._profile_close(core)
         self.stats.block_dispatches += 1
         host_pc = self.block_map.get(guest_pc)
         if host_pc is None:
@@ -356,4 +368,29 @@ class Runtime:
             core.cycles += core.costs.tb_entry
             if direct:
                 self._chained.add(guest_pc)
+        entry = self.block_profile.get(guest_pc)
+        if entry is None:
+            entry = self.block_profile[guest_pc] = [0, 0]
+        entry[0] += 1
+        self._profile_open[core.core_id] = (guest_pc, core.cycles)
         core.pc = host_pc
+
+    # ------------------------------------------------------------------
+    # Hot-block profile
+    # ------------------------------------------------------------------
+    def _profile_close(self, core: ArmCore) -> None:
+        open_entry = self._profile_open.pop(core.core_id, None)
+        if open_entry is not None:
+            guest_pc, entry_cycles = open_entry
+            self.block_profile[guest_pc][1] += \
+                core.cycles - entry_cycles
+
+    def block_profile_snapshot(self) -> dict[int, tuple[int, int]]:
+        """The hot-block profile as ``{guest_pc: (dispatches,
+        cycles)}``, closing any still-open block intervals first."""
+        for core in self.machine.cores:
+            self._profile_close(core)
+        return {
+            pc: (entry[0], entry[1])
+            for pc, entry in self.block_profile.items()
+        }

@@ -32,6 +32,10 @@ from .weakmem import BufferMode, StoreBuffer
 
 U64 = (1 << 64) - 1
 
+#: Origin bucket for fence cycles with no provenance entry (native
+#: workload code, hand-assembled harness snippets).
+UNTAGGED_ORIGIN = "untagged"
+
 
 def cond_index(name: str) -> int:
     """Encoding of a condition name for CSET/CSEL immediates."""
@@ -67,6 +71,12 @@ class ArmCore:
     insn_count: int = 0
     #: Cycles attributable to DMB fences (for the fence-share metric).
     fence_cycles: int = 0
+    #: host pc -> provenance tag of the DMB installed there.  Shared
+    #: machine-wide (the engine registers entries at install time).
+    fence_origins: dict[int, str] = field(default_factory=dict)
+    #: Fence cycles split by provenance tag; sums to ``fence_cycles``.
+    fence_cycles_by_origin: dict[str, int] = field(
+        default_factory=dict)
 
     #: Python-level entry points: pc -> callable(core).
     traps: dict[int, Callable[["ArmCore"], None]] = field(
@@ -78,6 +88,10 @@ class ArmCore:
         self.flags = {"n": False, "z": False, "c": False, "v": False}
         self.buffer = StoreBuffer(mode=self.buffer_mode)
         self._monitor: int | None = None
+        #: pc of the instruction currently executing (the fetch pc,
+        #: before advancing) — fence accounting keys the origin map
+        #: on it.
+        self._insn_pc = 0
 
     # ------------------------------------------------------------------
     # Register access (xzr handling)
@@ -142,6 +156,24 @@ class ArmCore:
             self.buffer.drain_one(self.memory, self.rng)
 
     # ------------------------------------------------------------------
+    # Fence accounting
+    # ------------------------------------------------------------------
+    def _account_fence(self, cost: int) -> None:
+        """Charge a DMB's cycles, attributed to its provenance tag.
+
+        Every executed fence lands in exactly one origin bucket, so
+        ``sum(fence_cycles_by_origin.values()) == fence_cycles``
+        holds by construction — the reconciliation invariant the
+        Figure 12 breakdown relies on.
+        """
+        self.cycles += cost
+        self.fence_cycles += cost
+        origin = self.fence_origins.get(self._insn_pc,
+                                        UNTAGGED_ORIGIN)
+        self.fence_cycles_by_origin[origin] = \
+            self.fence_cycles_by_origin.get(origin, 0) + cost
+
+    # ------------------------------------------------------------------
     # Flags
     # ------------------------------------------------------------------
     def _set_nzcv_sub(self, a: int, b: int) -> None:
@@ -188,6 +220,7 @@ class ArmCore:
             return
         code = self.memory.read_bytes(self.pc, 32)
         insn, size = CODER.decode(code)
+        self._insn_pc = self.pc
         self.pc += size
         self.execute(insn)
         self.insn_count += 1
@@ -385,19 +418,14 @@ class ArmCore:
         # -------------------------------------------------- fences
         if m == "dmbff":
             self.drain_buffer()
-            self.cycles += costs.dmb_ff
-            self.fence_cycles += costs.dmb_ff
+            self._account_fence(costs.dmb_ff)
             return
         if m == "dmbld":
-            cost = fence_cost(costs, m)
-            self.cycles += cost
-            self.fence_cycles += cost
+            self._account_fence(fence_cost(costs, m))
             return
         if m == "dmbst":
             self.buffer.barrier()
-            cost = fence_cost(costs, m)
-            self.cycles += cost
-            self.fence_cycles += cost
+            self._account_fence(fence_cost(costs, m))
             return
 
         # -------------------------------------------------- FP

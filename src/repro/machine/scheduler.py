@@ -14,10 +14,14 @@ from dataclasses import dataclass, field
 from random import Random
 
 from ..errors import MachineError
+from ..obs.trace import get_tracer
 from .cpu import ArmCore
 from .memory import CoherenceTracker, Memory
 from .timing import DEFAULT_COSTS, CostModel
 from .weakmem import BufferMode
+
+#: Steps between scheduler counter samples when tracing is enabled.
+_TRACE_SAMPLE_STEPS = 4096
 
 
 @dataclass
@@ -43,6 +47,9 @@ class Machine:
         self.rng = Random(self.seed)
         self.coherence = CoherenceTracker() if self.track_coherence \
             else None
+        #: host pc -> fence provenance tag, shared by every core (the
+        #: DBT engine registers entries as it installs blocks).
+        self.fence_origins: dict[int, str] = {}
         for i in range(self.n_cores):
             self.cores.append(ArmCore(
                 core_id=i,
@@ -52,6 +59,7 @@ class Machine:
                 buffer_mode=self.buffer_mode,
                 rng=Random(self.seed * 1000 + i),
                 spurious_failure_rate=self.spurious_failure_rate,
+                fence_origins=self.fence_origins,
             ))
 
     # ------------------------------------------------------------------
@@ -63,7 +71,17 @@ class Machine:
 
     def run(self, max_steps: int = 50_000_000) -> int:
         """Run until every core halts; returns total steps executed."""
+        tracer = get_tracer()
+        with tracer.span("machine.run", cat="machine",
+                         n_cores=self.n_cores):
+            steps = self._run_loop(max_steps, tracer)
+        for core in self.cores:
+            core.drain_buffer()
+        return steps
+
+    def _run_loop(self, max_steps: int, tracer) -> int:
         steps = 0
+        trace_dispatch = tracer.enabled
         while True:
             running = self.runnable()
             if not running:
@@ -77,8 +95,11 @@ class Machine:
             core.step()
             core.maybe_background_drain()
             steps += 1
-        for core in self.cores:
-            core.drain_buffer()
+            if trace_dispatch and steps % _TRACE_SAMPLE_STEPS == 0:
+                tracer.counter(
+                    "machine.progress", steps=steps,
+                    elapsed_cycles=self.elapsed_cycles(),
+                    fence_cycles=self.total_fence_cycles())
         return steps
 
     # ------------------------------------------------------------------
@@ -92,6 +113,18 @@ class Machine:
 
     def total_fence_cycles(self) -> int:
         return sum(c.fence_cycles for c in self.cores)
+
+    def total_fence_cycles_by_origin(self) -> dict[str, int]:
+        """Fence cycles split by provenance tag, summed over cores.
+
+        Values total exactly :meth:`total_fence_cycles` — each
+        executed DMB is charged to one origin bucket.
+        """
+        merged: dict[str, int] = {}
+        for core in self.cores:
+            for origin, cycles in core.fence_cycles_by_origin.items():
+                merged[origin] = merged.get(origin, 0) + cycles
+        return merged
 
     def total_insns(self) -> int:
         return sum(c.insn_count for c in self.cores)

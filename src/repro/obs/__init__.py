@@ -1,0 +1,36 @@
+"""Observability layer: structured tracing and a metrics registry.
+
+Two small, dependency-free subsystems every other layer can import
+without cost:
+
+* :mod:`repro.obs.trace` — span/instant event tracing with a no-op
+  default tracer.  When enabled (programmatically or via
+  ``REPRO_TRACE=1``) the DBT pipeline, optimizer passes, scheduler
+  loop and staged enumerator emit events renderable as JSONL or Chrome
+  ``trace_event`` JSON (loadable in Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.metrics` — counters, gauges and histograms with
+  labeled series and a snapshot/merge protocol that crosses the
+  ``run_parallel`` process boundary.
+
+The contract is zero overhead when disabled: the default tracer is a
+shared :class:`~repro.obs.trace.NullTracer` whose methods record
+nothing, and call sites guard any non-trivial argument construction
+with ``tracer.enabled``.
+"""
+
+from .metrics import MetricsRegistry, get_registry, set_registry
+from .trace import (
+    NullTracer,
+    Tracer,
+    get_tracer,
+    install_tracer,
+    trace_disable,
+    trace_enable,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry", "get_registry", "set_registry",
+    "NullTracer", "Tracer", "get_tracer", "install_tracer",
+    "trace_disable", "trace_enable", "validate_chrome_trace",
+]

@@ -1,0 +1,273 @@
+"""Low-overhead structured tracing for the DBT pipeline.
+
+The tracer records two event shapes:
+
+* **spans** — a named interval with a duration (``ph: "X"`` complete
+  events in Chrome's ``trace_event`` vocabulary), opened with
+  ``with tracer.span("translate", pc=...):``;
+* **instants** — a point event (``ph: "i"``), and **counters**
+  (``ph: "C"``) for sampled time series.
+
+The default tracer is a process-wide :class:`NullTracer`: every method
+is a no-op and ``span()`` returns one shared, reusable null context
+manager, so instrumented code paths allocate nothing and record
+nothing until someone calls :func:`trace_enable` (or sets
+``REPRO_TRACE=1`` in the environment before the first import).
+
+Output formats:
+
+* :meth:`Tracer.write_jsonl` — one JSON object per line, the raw
+  event stream for ad-hoc tooling;
+* :meth:`Tracer.write_chrome` — a ``{"traceEvents": [...]}`` document
+  loadable in Perfetto / ``chrome://tracing``.
+
+:func:`validate_chrome_trace` checks a file against the subset of the
+``trace_event`` schema we emit — CI's trace smoke leg and the figure
+harness tests both call it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ReproError
+
+#: Chrome trace_event phase codes we emit.
+_PHASES = {"X", "i", "C"}
+
+
+class _NullSpan:
+    """The shared do-nothing context manager of the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: records nothing, allocates nothing."""
+
+    enabled = False
+    events: tuple = ()
+
+    def span(self, name, cat="", **args):
+        return _NULL_SPAN
+
+    def instant(self, name, cat="", **args):
+        return None
+
+    def counter(self, name, **values):
+        return None
+
+
+class _Span:
+    """An open span: records one complete ("X") event on exit."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "start")
+
+    def __init__(self, tracer, name, cat, args):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start = time.perf_counter_ns()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        end = time.perf_counter_ns()
+        self.tracer._record({
+            "name": self.name,
+            "ph": "X",
+            "ts": (self.start - self.tracer.epoch_ns) / 1000.0,
+            "dur": (end - self.start) / 1000.0,
+            "pid": self.tracer.pid,
+            "tid": self.tracer.tid,
+            "cat": self.cat or "repro",
+            "args": self.args,
+        })
+        return False
+
+
+@dataclass
+class Tracer:
+    """An enabled tracer accumulating trace_event-shaped dicts."""
+
+    enabled: bool = True
+    pid: int = field(default_factory=os.getpid)
+    #: Logical thread lane.  The simulator is single-threaded; sites
+    #: that model per-core work may pass their own lane via ``tid=``.
+    tid: int = 0
+    events: list[dict] = field(default_factory=list)
+    epoch_ns: int = field(default_factory=time.perf_counter_ns)
+
+    def _record(self, event: dict) -> None:
+        self.events.append(event)
+
+    def _ts(self) -> float:
+        return (time.perf_counter_ns() - self.epoch_ns) / 1000.0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "", **args) -> _Span:
+        """Open a duration span; use as a context manager."""
+        return _Span(self, name, cat, args)
+
+    def instant(self, name: str, cat: str = "", **args) -> None:
+        self._record({
+            "name": name, "ph": "i", "ts": self._ts(),
+            "pid": self.pid, "tid": self.tid, "cat": cat or "repro",
+            "s": "t", "args": args,
+        })
+
+    def counter(self, name: str, **values) -> None:
+        self._record({
+            "name": name, "ph": "C", "ts": self._ts(),
+            "pid": self.pid, "tid": self.tid, "cat": "repro",
+            "args": values,
+        })
+
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"producer": "repro.obs.trace"},
+        }
+
+    def write_chrome(self, path):
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(), fh)
+        return path
+
+    def write_jsonl(self, path):
+        with open(path, "w") as fh:
+            for event in self.events:
+                fh.write(json.dumps(event) + "\n")
+        return path
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+# ----------------------------------------------------------------------
+# The process-wide tracer
+# ----------------------------------------------------------------------
+_NULL_TRACER = NullTracer()
+_tracer: NullTracer | Tracer = _NULL_TRACER
+
+
+def get_tracer() -> NullTracer | Tracer:
+    """The current process-wide tracer (NullTracer unless enabled)."""
+    return _tracer
+
+
+def install_tracer(tracer: NullTracer | Tracer) -> NullTracer | Tracer:
+    """Swap in a specific tracer; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def trace_enable() -> Tracer:
+    """Enable tracing process-wide; returns the live tracer."""
+    global _tracer
+    if not isinstance(_tracer, Tracer):
+        _tracer = Tracer()
+    return _tracer
+
+
+def trace_disable() -> None:
+    """Back to the zero-overhead null tracer."""
+    global _tracer
+    _tracer = _NULL_TRACER
+
+
+def _env_truthy(value: str | None) -> bool:
+    return bool(value) and value.lower() not in ("0", "false", "no", "")
+
+
+#: ``REPRO_TRACE=1`` enables tracing for the whole process;
+#: ``REPRO_TRACE_FILE`` selects where :func:`flush_env_trace` writes
+#: (extension picks the format: ``.jsonl`` raw, anything else Chrome).
+if _env_truthy(os.environ.get("REPRO_TRACE")):  # pragma: no cover
+    trace_enable()
+
+
+def flush_env_trace(default_path: str = "results/trace.json") -> str | None:
+    """Write the live tracer to ``REPRO_TRACE_FILE`` (or the default).
+
+    Returns the path written, or ``None`` when tracing is disabled.
+    Harnesses call this after their sweep so ``REPRO_TRACE=1`` runs
+    always leave an artefact.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    path = os.environ.get("REPRO_TRACE_FILE", default_path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    if path.endswith(".jsonl"):
+        tracer.write_jsonl(path)
+    else:
+        tracer.write_chrome(path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Schema validation (trace_event subset)
+# ----------------------------------------------------------------------
+def validate_chrome_events(events) -> int:
+    """Validate a list of trace_event dicts; returns the event count.
+
+    Raises :class:`~repro.errors.ReproError` with the first offending
+    event on any violation of the subset we emit: required keys,
+    known phase codes, numeric non-negative timestamps, and durations
+    on complete events.
+    """
+    if not isinstance(events, list):
+        raise ReproError("traceEvents must be a list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ReproError(f"event #{i} is not an object: {event!r}")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ReproError(f"event #{i} missing {key!r}: {event}")
+        if event["ph"] not in _PHASES:
+            raise ReproError(
+                f"event #{i} has unknown phase {event['ph']!r}")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            raise ReproError(f"event #{i} has bad ts {event['ts']!r}")
+        if event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ReproError(
+                    f"event #{i} (complete) has bad dur {dur!r}")
+        if not isinstance(event["name"], str) or not event["name"]:
+            raise ReproError(f"event #{i} has bad name")
+    return len(events)
+
+
+def validate_chrome_trace(path) -> int:
+    """Validate a Chrome-trace JSON file; returns the event count."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"unreadable chrome trace {path}: {exc}") \
+            from exc
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ReproError(f"{path}: no traceEvents array")
+    return validate_chrome_events(doc["traceEvents"])

@@ -96,6 +96,10 @@ class CompiledBlock:
     helper_requests: list[HelperRequest]
     guest_insns: int
     op_count: int
+    #: Provenance tag of each emitted DMB, in emission order (None for
+    #: untagged fences).  The engine zips this with the assembled
+    #: ``dmb*`` addresses to build the host fence-origin map.
+    fence_origins: list[str | None] = field(default_factory=list)
 
 
 class _TempAllocator:
@@ -142,6 +146,7 @@ class ArmBackend:
     def compile_block(self, block: TCGBlock) -> CompiledBlock:
         lines: list[str] = []
         requests: list[HelperRequest] = []
+        fence_origins: list[str | None] = []
         alloc = _TempAllocator(block.ops)
         trap_counter = 0
 
@@ -163,7 +168,7 @@ class ArmBackend:
 
         for index, op in enumerate(block.ops):
             self._lower_op(op, index, lines, alloc, operand,
-                           reg_operand, requests)
+                           reg_operand, requests, fence_origins)
             alloc.release_dead(index)
 
         asm = "\n".join(lines) + "\n"
@@ -173,12 +178,15 @@ class ArmBackend:
             helper_requests=requests,
             guest_insns=block.guest_insns,
             op_count=len(block.ops),
+            fence_origins=fence_origins,
         )
 
     # ------------------------------------------------------------------
     def _lower_op(self, op: Op, index: int, lines: list[str],
                   alloc: _TempAllocator, operand, reg_operand,
-                  requests: list[HelperRequest]) -> None:
+                  requests: list[HelperRequest],
+                  fence_origins: list[str | None] | None = None,
+                  ) -> None:
         name = op.name
 
         if name == "movi":
@@ -260,6 +268,8 @@ class ArmBackend:
             dmb = lower_barrier(op.args[0].value)
             if dmb:
                 lines.append(f"    {dmb}")
+                if fence_origins is not None:
+                    fence_origins.append(op.origin)
             return
         if name == "cas":
             # casal clobbers the expected register: stage in scratch.

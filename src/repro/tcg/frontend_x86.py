@@ -140,11 +140,11 @@ class X86Frontend:
     def _emit_load(self, block: TCGBlock, dst: Temp, addr: Temp) -> None:
         policy = self.config.fence_policy
         if policy is FencePolicy.QEMU:
-            block.mb(MO_LD_LD)                       # Frr; ld
+            block.mb(MO_LD_LD, origin="RMOV->Frr;ld")
             block.emit("ld", dst, addr, Const(0))
         elif policy is FencePolicy.RISOTTO:
-            block.emit("ld", dst, addr, Const(0))    # ld; Frm
-            block.mb(MO_LD_LD | MO_LD_ST)
+            block.emit("ld", dst, addr, Const(0))
+            block.mb(MO_LD_LD | MO_LD_ST, origin="RMOV->ld;Frm")
         else:
             block.emit("ld", dst, addr, Const(0))
 
@@ -152,14 +152,15 @@ class X86Frontend:
                     addr: Temp) -> None:
         policy = self.config.fence_policy
         if policy is FencePolicy.QEMU:
-            block.mb(MO_LD_ST | MO_ST_ST)            # Fmw; st
+            block.mb(MO_LD_ST | MO_ST_ST, origin="WMOV->Fmw;st")
         elif policy is FencePolicy.RISOTTO:
-            block.mb(MO_ST_ST)                       # Fww; st
+            block.mb(MO_ST_ST, origin="WMOV->Fww;st")
         block.emit("st", src, addr, Const(0))
 
-    def _emit_fence(self, block: TCGBlock, mask: int) -> None:
+    def _emit_fence(self, block: TCGBlock, mask: int,
+                    origin: str | None = None) -> None:
         if self.config.fence_policy is not FencePolicy.NOFENCES:
-            block.mb(mask)
+            block.mb(mask, origin=origin)
 
     # ------------------------------------------------------------------
     # Flags
@@ -264,13 +265,14 @@ class X86Frontend:
             block.emit("exit_tb", Const(next_pc))
             return
         if m == "mfence":
-            self._emit_fence(block, MO_ALL)
+            self._emit_fence(block, MO_ALL, origin="MFENCE->Fsc")
             return
         if m == "lfence":
-            self._emit_fence(block, MO_LD_LD | MO_LD_ST)
+            self._emit_fence(block, MO_LD_LD | MO_LD_ST,
+                             origin="LFENCE->Frm")
             return
         if m == "sfence":
-            self._emit_fence(block, MO_ST_ST)
+            self._emit_fence(block, MO_ST_ST, origin="SFENCE->Fww")
             return
         if m in ("mov", "movzx"):
             value = self._read(block, ops[1])

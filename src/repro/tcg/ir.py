@@ -163,10 +163,19 @@ TERMINATOR_OPS: frozenset[str] = frozenset(
 @dataclass(frozen=True)
 class Op:
     """One TCG op.  ``args`` layout follows OP_SIGNATURES; ``call`` ops
-    carry (helper_name, ret_temp_or_None, *arg_values)."""
+    carry (helper_name, ret_temp_or_None, *arg_values).
+
+    ``origin`` is the provenance tag of barrier (``mb``) ops: the
+    mapping rule (``RMOV->ld;Frm``) or optimizer decision
+    (``fence_merge:strengthen``) that produced the fence.  It is
+    metadata, excluded from equality/hash so optimizer tests comparing
+    op sequences stay origin-agnostic, and it survives to the backend
+    where fence cycles are attributed per origin.
+    """
 
     name: str
     args: tuple = ()
+    origin: str | None = field(default=None, compare=False)
 
     def __str__(self) -> str:
         if self.name == "call":
@@ -232,9 +241,9 @@ class TCGBlock:
     def movi(self, dst: Temp, value: int) -> None:
         self.emit("movi", dst, Const(value))
 
-    def mb(self, mask: int) -> None:
+    def mb(self, mask: int, origin: str | None = None) -> None:
         if mask:
-            self.emit("mb", Const(mask))
+            self.ops.append(Op("mb", (Const(mask),), origin=origin))
 
     def call(self, helper: str, ret: Temp | None, *args: Value) -> None:
         self.ops.append(Op("call", (helper, ret) + tuple(args)))

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ...obs.trace import get_tracer
 from ..ir import TCGBlock
 from .constprop import constant_propagation
 from .deadcode import dead_code_elimination
@@ -55,14 +56,22 @@ def optimize(block: TCGBlock,
     """Run the enabled passes in QEMU's order; mutates the block."""
     config = config or OptimizerConfig()
     stats = OptStats()
+    tracer = get_tracer()
     if config.constprop:
-        stats.folded = constant_propagation(block)
+        with tracer.span("opt.constprop", cat="opt",
+                         pc=block.guest_pc):
+            stats.folded = constant_propagation(block)
     if config.memopt:
-        stats.mem_eliminated = memory_access_elimination(block)
+        with tracer.span("opt.memopt", cat="opt", pc=block.guest_pc):
+            stats.mem_eliminated = memory_access_elimination(block)
     if config.fence_merge:
-        stats.fences_merged = merge_fences_pass(block)
+        with tracer.span("opt.fence_merge", cat="opt",
+                         pc=block.guest_pc):
+            stats.fences_merged = merge_fences_pass(block)
     if config.deadcode:
-        stats.dead_removed = dead_code_elimination(block)
+        with tracer.span("opt.deadcode", cat="opt",
+                         pc=block.guest_pc):
+            stats.dead_removed = dead_code_elimination(block)
     return stats
 
 

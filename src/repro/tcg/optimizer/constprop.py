@@ -169,9 +169,10 @@ def constant_propagation(block: TCGBlock) -> int:
             continue
 
         # Everything else: invalidate outputs, keep resolved args.
+        # Provenance (mb origins) must survive the rebuild.
         for out in op.outputs():
             known.pop(out, None)
-        new_ops.append(Op(name, args))
+        new_ops.append(Op(name, args, origin=op.origin))
 
     block.ops = new_ops
     return changed

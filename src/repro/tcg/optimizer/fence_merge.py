@@ -37,9 +37,13 @@ def merge_fences_pass(block: TCGBlock) -> int:
                 merged += 1
                 continue
             if open_fence is not None:
+                # The merged barrier is an optimizer artefact: its
+                # cycles are attributed to the merge decision, not to
+                # either contributing mapping rule.
                 prev_mask = new_ops[open_fence].args[0].value
                 new_ops[open_fence] = Op(
-                    "mb", (Const(prev_mask | mask),))
+                    "mb", (Const(prev_mask | mask),),
+                    origin="fence_merge:strengthen")
                 merged += 1
             else:
                 open_fence = len(new_ops)

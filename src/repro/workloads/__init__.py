@@ -12,6 +12,7 @@ from .libs import (
     standard_libraries,
 )
 from .parallel import (
+    RunFailure,
     RunRow,
     RunSpec,
     SweepResult,
@@ -41,7 +42,7 @@ __all__ = [
     "ARRAY_BASE", "KernelSpec", "gen_arm_program", "gen_x86_program",
     "SQLITE_DB_BASE", "build_libcrypto", "build_libm", "build_libsqlite",
     "standard_libraries",
-    "RunRow", "RunSpec", "SweepResult", "default_workers",
+    "RunFailure", "RunRow", "RunSpec", "SweepResult", "default_workers",
     "execute_spec", "run_parallel",
     "ALL_VARIANTS", "NATIVE", "WorkloadResult",
     "run_kernel", "run_library_workload",

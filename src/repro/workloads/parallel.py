@@ -36,6 +36,8 @@ from dataclasses import dataclass, field
 from ..core.enumerate import behavior_cache_stats, enumeration_stats
 from ..errors import ReproError
 from ..machine.timing import CostModel
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
 from ..machine.weakmem import BufferMode
 from .casbench import CasConfig, run_cas_benchmark
 from .kernels import KernelSpec
@@ -136,6 +138,16 @@ class RunRow:
     enum_executions: int = 0
     enum_rf_pruned: int = 0
     enum_rf_rejected: int = 0
+    #: fence cycles split by provenance tag (mapping rule / optimizer
+    #: decision); values sum exactly to ``fence_cycles``.
+    fence_origin_cycles: dict = field(default_factory=dict)
+    #: hottest translated blocks: (guest_pc, dispatches, cycles)
+    #: triples, by attributed cycles, descending.
+    hot_blocks: tuple = ()
+    #: metrics-registry snapshot of this run (the picklable wire form
+    #: of :meth:`repro.obs.metrics.MetricsRegistry.snapshot`), merged
+    #: across the process boundary by :func:`run_parallel`.
+    metrics: dict = field(default_factory=dict)
     #: kind-specific extras (e.g. broken litmus tests of an ablation).
     payload: tuple = ()
 
@@ -144,6 +156,21 @@ class RunRow:
         if not self.total_cycles:
             return 0.0
         return self.fence_cycles / self.total_cycles
+
+
+#: Hot-block entries kept per run row (the profile's heavy tail is
+#: noise; the figures only ever show a handful of blocks).
+HOT_BLOCK_LIMIT = 8
+
+
+def _hot_blocks(result) -> tuple:
+    profile = getattr(result, "block_profile", None) or {}
+    ranked = sorted(profile.items(),
+                    key=lambda item: (-item[1][1], item[0]))
+    return tuple(
+        (pc, dispatches, cycles)
+        for pc, (dispatches, cycles) in ranked[:HOT_BLOCK_LIMIT]
+    )
 
 
 def _row_from_workload(spec: RunSpec, outcome: WorkloadResult,
@@ -167,7 +194,43 @@ def _row_from_workload(spec: RunSpec, outcome: WorkloadResult,
         opt_mem_eliminated=result.opt_stats.mem_eliminated,
         opt_fences_merged=result.opt_stats.fences_merged,
         opt_dead_removed=result.opt_stats.dead_removed,
+        fence_origin_cycles=dict(
+            getattr(result, "fence_cycles_by_origin", {}) or {}),
+        hot_blocks=_hot_blocks(result),
     )
+
+
+def _run_metrics(spec: RunSpec, row: RunRow) -> dict:
+    """A per-run metrics snapshot (the wire form of the registry).
+
+    Built fresh per spec so merging snapshots is associative whatever
+    the worker layout; ``run_parallel`` folds them into the sweep-wide
+    registry on the parent side of the process boundary.  Only
+    deterministic quantities go in (cycles, counts — never wall time),
+    so rows stay bit-identical across worker layouts.
+    """
+    reg = MetricsRegistry()
+    labels = {"kind": spec.kind, "variant": spec.variant}
+    reg.counter("repro_runs_total",
+                "Runs executed by the sweep harness") \
+        .labels(**labels).inc()
+    reg.histogram("repro_run_cycles",
+                  "Elapsed machine cycles of one run") \
+        .labels(**labels).observe(row.cycles)
+    if row.blocks_translated:
+        reg.counter("repro_blocks_translated_total",
+                    "Guest blocks translated") \
+            .labels(variant=spec.variant).inc(row.blocks_translated)
+    if row.block_dispatches:
+        reg.counter("repro_block_dispatches_total",
+                    "Block dispatches through the runtime") \
+            .labels(variant=spec.variant).inc(row.block_dispatches)
+    fences = reg.counter(
+        "repro_fence_cycles_total",
+        "Fence cycles by provenance tag")
+    for origin, cycles in sorted(row.fence_origin_cycles.items()):
+        fences.labels(variant=spec.variant, origin=origin).inc(cycles)
+    return reg.snapshot()
 
 
 def _run_ablation(spec: RunSpec, started: float) -> RunRow:
@@ -231,11 +294,49 @@ def execute_spec(spec: RunSpec) -> RunRow:
                                     seed=spec.seed, costs=spec.costs,
                                     buffer_mode=spec.buffer_mode)
     elif spec.kind == "ablation":
-        return _run_ablation(spec, started)
+        row = _run_ablation(spec, started)
+        row.metrics = _run_metrics(spec, row)
+        return row
     else:
         raise ReproError(f"unknown run-spec kind {spec.kind!r}")
-    return _row_from_workload(spec, outcome,
-                              time.perf_counter() - started)
+    row = _row_from_workload(spec, outcome,
+                             time.perf_counter() - started)
+    row.metrics = _run_metrics(spec, row)
+    return row
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One run that died in a worker, with enough identity to rerun it.
+
+    Crossing the pool boundary as a plain record (rather than the
+    exception itself) keeps the failure picklable whatever the worker
+    raised, and lets the sweep keep its other rows.
+    """
+
+    kind: str
+    benchmark: str
+    variant: str
+    seed: int
+    error: str
+
+    def __str__(self) -> str:
+        return (f"{self.kind}:{self.benchmark}/{self.variant}"
+                f" (seed {self.seed}): {self.error}")
+
+
+def _pool_entry(spec: RunSpec):
+    """What actually runs in the worker: a row, or a failure record."""
+    try:
+        return execute_spec(spec)
+    except Exception as exc:  # noqa: BLE001 - the boundary by design
+        return RunFailure(
+            kind=spec.kind,
+            benchmark=spec.benchmark,
+            variant=spec.variant,
+            seed=spec.seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
 
 
 def default_workers() -> int:
@@ -257,6 +358,11 @@ class SweepResult:
     rows: list[RunRow] = field(default_factory=list)
     wall_seconds: float = 0.0
     workers: int = 1
+    #: Specs that died in a worker; the surviving rows keep submission
+    #: order, so partial sweeps stay deterministic and comparable.
+    failures: list[RunFailure] = field(default_factory=list)
+    #: Sweep-wide merge of every row's metrics snapshot.
+    metrics: dict = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.rows)
@@ -264,24 +370,61 @@ class SweepResult:
     def __len__(self) -> int:
         return len(self.rows)
 
+    def raise_failures(self) -> None:
+        """Raise a :class:`ReproError` naming every failed spec."""
+        if self.failures:
+            detail = "; ".join(str(f) for f in self.failures)
+            raise ReproError(
+                f"{len(self.failures)} of "
+                f"{len(self.rows) + len(self.failures)} sweep runs "
+                f"failed: {detail}")
 
-def run_parallel(specs, workers: int | None = None) -> SweepResult:
+
+def _merge_metrics(rows: list[RunRow]) -> dict:
+    merged = MetricsRegistry()
+    for row in rows:
+        if row.metrics:
+            merged.merge(row.metrics)
+    return merged.snapshot()
+
+
+def run_parallel(specs, workers: int | None = None,
+                 strict: bool = False) -> SweepResult:
     """Execute every spec, fanning out over a process pool.
 
     Rows come back in the order of ``specs`` regardless of completion
     order, and each run is fully determined by its spec (fresh machine,
     spec-owned seed), so the result table is identical for any worker
     count — the determinism contract the figure harnesses rely on.
+
+    A run that raises in its worker does not lose the sweep: it is
+    recorded in :attr:`SweepResult.failures` with the identity needed
+    to rerun it (kind, benchmark, variant, seed).  ``strict=True``
+    converts any failure into a :class:`ReproError` after the whole
+    sweep has drained, so one bad cell still cannot cancel the rest.
     """
     specs = list(specs)
     workers = default_workers() if workers is None else max(1, workers)
     workers = min(workers, len(specs)) or 1
     started = time.perf_counter()
-    if workers == 1:
-        rows = [execute_spec(spec) for spec in specs]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            rows = list(pool.map(execute_spec, specs))
-    return SweepResult(rows=rows,
-                       wall_seconds=time.perf_counter() - started,
-                       workers=workers)
+    tracer = get_tracer()
+    with tracer.span("sweep.run_parallel", cat="sweep",
+                     specs=len(specs), workers=workers):
+        if workers == 1:
+            outcomes = [_pool_entry(spec) for spec in specs]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_pool_entry, specs))
+    rows = [o for o in outcomes if isinstance(o, RunRow)]
+    failures = [o for o in outcomes if isinstance(o, RunFailure)]
+    if tracer.enabled:
+        tracer.counter("sweep.outcomes", rows=len(rows),
+                       failures=len(failures))
+    result = SweepResult(rows=rows,
+                         wall_seconds=time.perf_counter() - started,
+                         workers=workers,
+                         failures=failures,
+                         metrics=_merge_metrics(rows))
+    if strict:
+        result.raise_failures()
+    return result

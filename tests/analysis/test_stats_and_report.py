@@ -12,7 +12,8 @@ from repro.analysis import (
     run_stats_footer,
     speedup_report,
 )
-from repro.workloads import RunRow, SweepResult
+from repro.errors import ReproError
+from repro.workloads import RunFailure, RunRow, SweepResult
 
 
 @pytest.fixture
@@ -64,6 +65,51 @@ class TestBenchTable:
     def test_zero_total_cycles_fence_share(self):
         row = BenchRow(benchmark="x", variant="v", cycles=10)
         assert row.fence_share == 0.0
+
+
+class TestSparseTable:
+    """Regressions for sparse tables (a variant that did not run on
+    every benchmark must not silently poison the statistics)."""
+
+    @pytest.fixture
+    def sparse(self, table):
+        # gamma ran only under qemu: no tcg-ver cell.
+        table.add(BenchRow(benchmark="gamma", variant="qemu",
+                           cycles=4000, fence_cycles=400,
+                           total_cycles=4000, checksum=7))
+        return table
+
+    def test_cycles_missing_cell_raises(self, sparse):
+        with pytest.raises(ReproError, match="no row for benchmark"):
+            sparse.cycles("gamma", "tcg-ver")
+
+    def test_averages_skip_missing_cells(self, sparse):
+        # identical to the dense table: gamma contributes no tcg-ver
+        # cell, so it must be skipped rather than crash or zero-fill.
+        assert sparse.average_gain("tcg-ver") == pytest.approx(
+            (0.1 + 0.05) / 2)
+        assert sparse.max_gain("tcg-ver") == pytest.approx(0.1)
+        assert sparse.average_relative("tcg-ver") == pytest.approx(
+            (0.9 + 0.95) / 2)
+
+    def test_fence_share_sees_all_cells_of_variant(self, sparse):
+        # gamma has a qemu cell, so fence-share stats include it.
+        assert sparse.average_fence_share("qemu") == pytest.approx(
+            (0.4 + 0.1 + 0.1) / 3)
+
+    def test_absent_variant_raises_with_inventory(self, table):
+        with pytest.raises(ReproError,
+                           match=r"no rows for variant 'missing'"):
+            table.average_gain("missing")
+        with pytest.raises(ReproError, match="variants present"):
+            table.average_fence_share("missing")
+
+    def test_no_overlapping_cells_raises(self):
+        t = BenchTable(name="t")
+        t.add(BenchRow(benchmark="a", variant="qemu", cycles=100))
+        t.add(BenchRow(benchmark="b", variant="risotto", cycles=90))
+        with pytest.raises(ReproError):
+            t.average_gain("risotto")
 
 
 class TestReports:
@@ -169,3 +215,75 @@ class TestSweepAggregation:
         assert "translated:" not in text
         assert "fence cycles:" not in text
         assert "behavior cache:" not in text
+        assert "fence cycles by origin:" not in text
+        assert "FAILED" not in text
+
+
+class TestObservabilityFooters:
+    """Golden-output tests for the fence-by-origin and failure
+    sections added to the harness footer and the Figure 12 report."""
+
+    @pytest.fixture
+    def origin_sweep(self):
+        rows = [
+            RunRow(benchmark="alpha", variant="qemu", cycles=1000,
+                   fence_cycles=400, total_cycles=1000, checksum=7,
+                   wall_seconds=0.5,
+                   fence_origin_cycles={"RMOV->Frr;ld": 300,
+                                        "WMOV->Fmw;st": 100}),
+            RunRow(benchmark="alpha", variant="risotto", cycles=800,
+                   fence_cycles=100, total_cycles=800, checksum=7,
+                   wall_seconds=0.25,
+                   fence_origin_cycles={"RMOV->ld;Frm": 60,
+                                        "fence_merge:strengthen": 40}),
+        ]
+        failures = [RunFailure(kind="kernel", benchmark="beta",
+                               variant="qemu", seed=3,
+                               error="ReproError: boom")]
+        return SweepResult(rows=rows, wall_seconds=0.6, workers=2,
+                           failures=failures)
+
+    def test_footer_by_origin_golden(self, origin_sweep):
+        text = run_stats_footer(origin_sweep, "origin stats")
+        assert "fence cycles by origin:" in text
+        # largest bucket first, aligned columns, share of fence cycles
+        assert "  RMOV->Frr;ld                      300 (60.0%)" \
+            in text
+        assert "  WMOV->Fmw;st                      100 (20.0%)" \
+            in text
+        assert "  RMOV->ld;Frm                       60 (12.0%)" \
+            in text
+        assert "  fence_merge:strengthen             40 (8.0%)" in text
+
+    def test_footer_failure_lines(self, origin_sweep):
+        text = run_stats_footer(origin_sweep)
+        assert "FAILED runs: 1" in text
+        assert "  kernel:beta/qemu (seed 3): ReproError: boom" in text
+
+    def test_footer_unaccounted_bucket(self):
+        rows = [RunRow(benchmark="a", variant="qemu", cycles=100,
+                       fence_cycles=50, total_cycles=100,
+                       wall_seconds=0.1,
+                       fence_origin_cycles={"RMOV->Frr;ld": 30})]
+        text = run_stats_footer(rows)
+        assert "[unaccounted]" in text
+        assert "20" in text
+
+    def test_figure12_by_origin_footer(self, origin_sweep):
+        table = BenchTable.from_rows("fig12", origin_sweep)
+        text = figure12_report(table)
+        assert "fence cycles by origin (qemu):" in text
+        assert "fence cycles by origin (risotto):" in text
+        qemu_section = text.split("fence cycles by origin (qemu):")[1] \
+            .split("fence cycles by origin (risotto):")[0]
+        assert "RMOV->Frr;ld" in qemu_section
+        assert "RMOV->ld;Frm" not in qemu_section
+
+    def test_aggregate_merges_origins_across_rows(self, origin_sweep):
+        stats = aggregate_sweep(origin_sweep)
+        assert stats.fence_cycles_by_origin == {
+            "RMOV->Frr;ld": 300, "WMOV->Fmw;st": 100,
+            "RMOV->ld;Frm": 60, "fence_merge:strengthen": 40}
+        assert sum(stats.fence_cycles_by_origin.values()) == \
+            stats.fence_cycles
+        assert stats.failed_runs == 1

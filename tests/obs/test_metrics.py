@@ -1,0 +1,148 @@
+"""Metrics registry tests: series semantics, label encoding, and the
+snapshot/merge protocol that crosses the run_parallel process
+boundary."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    get_registry,
+    label_key,
+    parse_labels,
+    set_registry,
+)
+
+
+class TestLabelKey:
+    def test_sorted_roundtrip(self):
+        key = label_key({"variant": "qemu", "kind": "kernel"})
+        assert key == "kind=kernel,variant=qemu"
+        assert parse_labels(key) == {"kind": "kernel",
+                                     "variant": "qemu"}
+
+    def test_empty(self):
+        assert label_key({}) == ""
+        assert parse_labels("") == {}
+
+    @pytest.mark.parametrize("labels", [
+        {"bad,name": "x"}, {"k": "a,b"}, {"k": "a=b"},
+    ])
+    def test_reserved_characters_rejected(self, labels):
+        with pytest.raises(ReproError):
+            label_key(labels)
+
+
+class TestSeries:
+    def test_counter_semantics(self):
+        reg = MetricsRegistry()
+        runs = reg.counter("runs_total", "runs")
+        runs.inc()
+        runs.inc(4)
+        assert runs.value == 5
+        with pytest.raises(ReproError, match="only go up"):
+            runs.inc(-1)
+
+    def test_gauge_allows_decrease(self):
+        reg = MetricsRegistry()
+        depth = reg.gauge("queue_depth", "depth")
+        depth.set(10)
+        depth.inc(-3)
+        assert depth.value == 7
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("latency", "lat", buckets=(10, 100))
+        for v in (5, 50, 500):
+            hist.observe(v)
+        snap = reg.snapshot()["metrics"]["latency"]
+        (series,) = snap["series"].values()
+        assert series["count"] == 3
+        assert series["sum"] == 555
+        # one observation landed in each bucket (last is +Inf)
+        assert series["buckets"] == [1, 1, 1]
+
+    def test_labeled_series_are_distinct(self):
+        reg = MetricsRegistry()
+        runs = reg.counter("runs_total", "runs")
+        runs.labels(variant="qemu").inc(2)
+        runs.labels(variant="risotto").inc(3)
+        series = reg.counter_series("runs_total")
+        assert series[label_key({"variant": "qemu"})] == 2
+        assert series[label_key({"variant": "risotto"})] == 3
+        assert reg.total("runs_total") == 5
+
+    def test_kind_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("x", "a counter")
+        assert reg.counter("x", "again") is not None  # get-or-create
+        with pytest.raises(ReproError, match="already registered"):
+            reg.gauge("x", "but as a gauge")
+
+
+class TestSnapshotMerge:
+    def _worker_snapshot(self, variant, cycles):
+        reg = MetricsRegistry()
+        reg.counter("runs_total", "runs").labels(variant=variant).inc()
+        reg.histogram("cycles", "c", buckets=(100, 1000)) \
+            .observe(cycles)
+        reg.gauge("workers", "w").set(1)
+        return reg.snapshot()
+
+    def test_schema_tag(self):
+        assert self._worker_snapshot("qemu", 5)["schema"] == \
+            SNAPSHOT_SCHEMA
+
+    def test_merge_across_json_boundary(self):
+        """Snapshots survive the pickling/JSON trip workers take."""
+        snaps = [
+            json.loads(json.dumps(self._worker_snapshot("qemu", 50))),
+            json.loads(json.dumps(self._worker_snapshot("qemu", 500))),
+            json.loads(json.dumps(
+                self._worker_snapshot("risotto", 5000))),
+        ]
+        parent = MetricsRegistry()
+        for snap in snaps:
+            parent.merge(snap)
+        assert parent.total("runs_total") == 3
+        series = parent.counter_series("runs_total")
+        assert series[label_key({"variant": "qemu"})] == 2
+        merged = parent.snapshot()["metrics"]["cycles"]
+        (hist,) = merged["series"].values()
+        assert hist["count"] == 3
+        assert hist["sum"] == 5550
+
+    def test_merge_rejects_wrong_schema(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ReproError, match="schema"):
+            reg.merge({"schema": "bogus/9", "metrics": {}})
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("h", "x", buckets=(1, 2)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("h", "x", buckets=(1, 2, 3)).observe(1)
+        with pytest.raises(ReproError, match="bucket"):
+            a.merge(b.snapshot())
+
+    def test_merge_gauge_last_write_wins(self):
+        a = MetricsRegistry()
+        a.gauge("depth", "d").set(3)
+        b = MetricsRegistry()
+        b.gauge("depth", "d").set(9)
+        a.merge(b.snapshot())
+        assert a.get("depth").value == 9
+
+
+class TestModuleRegistry:
+    def test_set_and_restore(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous

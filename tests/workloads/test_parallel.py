@@ -168,7 +168,13 @@ class TestOtherKinds:
         assert row.cache_misses > 0
 
     def test_unknown_ablation_label(self):
-        from repro.errors import ModelError
+        from repro.errors import ReproError
         sweep_specs = ablation_grid(("no such ablation",))
-        with pytest.raises(ModelError):
-            run_parallel(sweep_specs, workers=1)
+        sweep = run_parallel(sweep_specs, workers=1)
+        assert not sweep.rows
+        (failure,) = sweep.failures
+        assert failure.kind == "ablation"
+        assert failure.benchmark == "no such ablation"
+        assert "no such ablation" in failure.error
+        with pytest.raises(ReproError):
+            run_parallel(sweep_specs, workers=1, strict=True)
