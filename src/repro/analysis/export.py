@@ -86,13 +86,18 @@ def bench_payload(figure: str, table: BenchTable | None = None,
         failures = getattr(sweep, "failures", ())
         if failures:
             payload["failures"] = [str(f) for f in failures]
-        hot = {
-            f"{row.benchmark}/{row.variant}": [
-                list(entry) for entry in row.hot_blocks
-            ]
-            for row in sweep
-            if getattr(row, "hot_blocks", ())
-        }
+        hot: dict = {}
+        for row in sweep:
+            blocks = getattr(row, "hot_blocks", ())
+            if blocks:
+                hot[f"{row.benchmark}/{row.variant}"] = [
+                    list(entry) for entry in blocks
+                ]
+            elif blocks is None:
+                # Untracked profile (native rows): export an explicit
+                # null so consumers can tell "not tracked" apart from
+                # "tracked, no hot blocks" (which is simply omitted).
+                hot[f"{row.benchmark}/{row.variant}"] = None
         if hot:
             payload["hot_blocks"] = hot
     if series is not None:

@@ -153,15 +153,22 @@ def store(program, model, behaviors: frozenset) -> None:
 
 
 def clear_disk_cache() -> int:
-    """Remove every cached entry; returns the number removed."""
+    """Remove every cached entry; returns the number removed.
+
+    Alongside the ``*.json`` entries this sweeps orphaned ``*.tmp``
+    files: a writer that dies between ``mkstemp`` and ``os.replace``
+    leaves its temp file behind, and nothing else ever cleans it up.
+    Orphans count toward the return value like any other removal.
+    """
     removed = 0
     directory = cache_dir()
     if not directory.is_dir():
         return 0
-    for path in directory.glob("*.json"):
-        try:
-            path.unlink()
-            removed += 1
-        except OSError:  # pragma: no cover - concurrent removal
-            pass
+    for pattern in ("*.json", "*.tmp"):
+        for path in directory.glob(pattern):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent removal
+                pass
     return removed

@@ -44,8 +44,11 @@ class RunResult:
     #: decision); values sum exactly to ``fence_cycles``.
     fence_cycles_by_origin: dict[str, int] = field(default_factory=dict)
     #: Hot-block profile: guest pc -> (dispatches, attributed cycles).
-    block_profile: dict[int, tuple[int, int]] = field(
-        default_factory=dict)
+    #: ``None`` means the run did not track a profile at all (native
+    #: runs execute no translated blocks), which is distinct from an
+    #: empty dict ("tracked, but nothing dispatched") — bench exports
+    #: surface the difference as an explicit null.
+    block_profile: dict[int, tuple[int, int]] | None = None
 
     @property
     def fence_share(self) -> float:
@@ -233,4 +236,8 @@ class NativeRunner:
             output=self.runtime.stats.output,
             fence_cycles_by_origin=(
                 self.machine.total_fence_cycles_by_origin()),
+            # Native code runs no translated blocks, so there is no
+            # profile to track — an explicit None (not an empty dict)
+            # tells consumers "not tracked" rather than "no hot blocks".
+            block_profile=None,
         )

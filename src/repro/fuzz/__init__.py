@@ -1,0 +1,44 @@
+"""Differential fuzzing of the reproduction's trust boundaries.
+
+``python -m repro.fuzz --seed S --cases N`` drives four oracles —
+staged-vs-naive enumeration, the operational machine vs the axiomatic
+Arm model, the DBT pipeline vs its references, and Figure-10 transform
+soundness — over seeded, deterministic case streams, shrinks any
+divergence to a 1-minimal reproducer, and writes a canonical findings
+JSONL (same seed, same bytes).  Minimized reproducers are committed
+under ``tests/fuzz_corpus/`` and replayed by the test suite.
+"""
+
+from .cases import (
+    behaviors_to_json,
+    canonical_json,
+    program_from_json,
+    program_to_json,
+)
+from .generate import gen_kernel_spec, gen_litmus, gen_x86_block
+from .oracles import (
+    CheckOutcome,
+    ORACLES,
+    applicable_sites,
+    make_oracles,
+)
+from .runner import (
+    DEFAULT_ORACLES,
+    FINDINGS_SCHEMA,
+    FuzzConfig,
+    FuzzReport,
+    findings_lines,
+    run_fuzz,
+    validate_findings_jsonl,
+    write_findings_jsonl,
+)
+from .shrink import ShrinkResult, shrink_case
+
+__all__ = [
+    "CheckOutcome", "DEFAULT_ORACLES", "FINDINGS_SCHEMA", "FuzzConfig",
+    "FuzzReport", "ORACLES", "ShrinkResult", "applicable_sites",
+    "behaviors_to_json", "canonical_json", "findings_lines",
+    "gen_kernel_spec", "gen_litmus", "gen_x86_block", "make_oracles",
+    "program_from_json", "program_to_json", "run_fuzz", "shrink_case",
+    "validate_findings_jsonl", "write_findings_jsonl",
+]

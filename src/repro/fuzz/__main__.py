@@ -1,0 +1,98 @@
+"""CLI for the differential fuzzer.
+
+    python -m repro.fuzz --seed 2023 --cases 200
+    python -m repro.fuzz --oracles staged-vs-naive,transform-oracle \\
+        --findings results/fuzz.jsonl --bench-json results/bench_fuzz.json
+
+Exit status: 0 when every case is ok/skip, 1 when a divergence was
+found and ``--fail-on-divergence`` is set (CI smoke uses it), 2 on
+usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis.export import write_bench_json
+from ..errors import ReproError
+from .oracles import ORACLES
+from .runner import (
+    FuzzConfig,
+    run_fuzz,
+    validate_findings_jsonl,
+    write_findings_jsonl,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="differential fuzzing of enumeration, machine, "
+                    "DBT, and transform oracles")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed (default 0)")
+    parser.add_argument("--cases", type=int, default=50,
+                        help="cases per oracle (default 50)")
+    parser.add_argument("--oracles", default=",".join(ORACLES),
+                        help="comma-separated oracle names "
+                             f"(default: all of {', '.join(ORACLES)})")
+    parser.add_argument("--findings", metavar="PATH",
+                        help="write findings JSONL here")
+    parser.add_argument("--bench-json", metavar="PATH",
+                        help="write a repro-bench export with the "
+                             "fuzz summary here")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="report raw diverging cases unminimized")
+    parser.add_argument("--shrink-budget", type=int, default=150,
+                        help="max oracle checks per shrink "
+                             "(default 150)")
+    parser.add_argument("--fail-on-divergence", action="store_true",
+                        help="exit 1 when any oracle diverges")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    names = tuple(n for n in args.oracles.split(",") if n)
+    try:
+        config = FuzzConfig(
+            seed=args.seed, cases=args.cases, oracles=names,
+            shrink=not args.no_shrink,
+            shrink_budget=args.shrink_budget)
+        report = run_fuzz(config)
+    except ReproError as exc:
+        print(f"fuzz: {exc}", file=sys.stderr)
+        return 2
+
+    for oracle, counts in sorted(report.counts.items()):
+        cells = "  ".join(f"{status}={counts[status]}"
+                          for status in sorted(counts))
+        print(f"{oracle:<22} {cells}")
+    print(f"total: {report.total_cases} cases, "
+          f"{report.divergences} divergence(s)")
+    for finding in report.findings:
+        size = finding.get("shrink", {})
+        note = ""
+        if size:
+            note = (f"  (shrunk {size['initial_size']} -> "
+                    f"{size['final_size']} in {size['checks']} checks)")
+        print(f"  divergence: {finding['oracle']} "
+              f"case #{finding['index']}{note}")
+
+    if args.findings:
+        path = write_findings_jsonl(args.findings, report)
+        validate_findings_jsonl(path)
+        print(f"findings: {path}")
+    if args.bench_json:
+        path = write_bench_json(args.bench_json, figure="fuzz",
+                                extra={"fuzz": report.summary()})
+        print(f"bench json: {path}")
+
+    if report.divergences and args.fail_on_divergence:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

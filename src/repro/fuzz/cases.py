@@ -1,0 +1,111 @@
+"""JSON serialization of fuzz cases.
+
+Every fuzz case — a litmus :class:`~repro.core.program.Program`, an x86
+basic block, a kernel spec — round-trips through plain JSON so that
+
+* findings reports are self-contained (a divergence in CI replays from
+  the JSONL line alone, no pickle, no repo state),
+* the shrinker manipulates cases structurally without touching the
+  frozen AST in place, and
+* minimized reproducers live in ``tests/fuzz_corpus/`` as reviewable
+  text.
+
+Op encoding (one JSON array per op, tag first):
+
+* ``["W", loc, value, mode, dep]`` — :class:`Store`; ``value`` is an
+  int or a register name, ``dep`` the false-dependency register or
+  null.
+* ``["R", reg, loc, mode]`` — :class:`Load`.
+* ``["F", kind]`` — :class:`FenceOp` by :class:`Fence` value.
+* ``["RMW", loc, expect, new, flavor, acq, rel, out]`` — :class:`Rmw`.
+* ``["IF", reg, value, [then...], [else...]]`` — :class:`If`.
+
+All serialization here is canonical (sorted keys, fixed separators):
+two runs that produce the same case produce the same bytes, which is
+what makes the fuzzer's determinism checkable with ``cmp``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.events import Arch, Fence, Mode, RmwFlavor
+from ..core.program import FenceOp, If, Load, Op, Program, Rmw, Store
+from ..errors import ReproError
+
+
+def op_to_json(op: Op) -> list:
+    if isinstance(op, Store):
+        return ["W", op.loc, op.value, op.mode.value, op.dep]
+    if isinstance(op, Load):
+        return ["R", op.reg, op.loc, op.mode.value]
+    if isinstance(op, FenceOp):
+        return ["F", op.kind.value]
+    if isinstance(op, Rmw):
+        return ["RMW", op.loc, op.expect, op.new, op.flavor.value,
+                op.acq, op.rel, op.out]
+    if isinstance(op, If):
+        return ["IF", op.reg, op.value,
+                [op_to_json(o) for o in op.then_ops],
+                [op_to_json(o) for o in op.else_ops]]
+    raise ReproError(f"cannot serialize op {op!r}")
+
+
+def op_from_json(data: list) -> Op:
+    tag = data[0]
+    if tag == "W":
+        _, loc, value, mode, dep = data
+        return Store(loc, value, mode=Mode(mode), dep=dep)
+    if tag == "R":
+        _, reg, loc, mode = data
+        return Load(reg, loc, mode=Mode(mode))
+    if tag == "F":
+        return FenceOp(Fence(data[1]))
+    if tag == "RMW":
+        _, loc, expect, new, flavor, acq, rel, out = data
+        return Rmw(loc, expect, new, RmwFlavor(flavor),
+                   acq=acq, rel=rel, out=out)
+    if tag == "IF":
+        _, reg, value, then_ops, else_ops = data
+        return If(reg, value,
+                  then_ops=tuple(op_from_json(o) for o in then_ops),
+                  else_ops=tuple(op_from_json(o) for o in else_ops))
+    raise ReproError(f"unknown op tag {tag!r}")
+
+
+def program_to_json(program: Program) -> dict:
+    return {
+        "name": program.name,
+        "arch": program.arch.value,
+        "init": [[loc, val] for loc, val in program.init],
+        "threads": [[op_to_json(op) for op in ops]
+                    for ops in program.threads],
+    }
+
+
+def program_from_json(data: dict) -> Program:
+    """Rebuild a program; raises ``LitmusError`` for invalid bodies
+    (which the shrinker treats as a dead-end candidate)."""
+    return Program(
+        name=data["name"],
+        arch=Arch(data["arch"]),
+        threads=tuple(
+            tuple(op_from_json(op) for op in ops)
+            for ops in data["threads"]
+        ),
+        init=tuple((loc, val) for loc, val in data.get("init", [])),
+    )
+
+
+def behaviors_to_json(behaviors: frozenset) -> list:
+    """A behaviour set as a sorted list of sorted ``[key, value]``
+    pairs — the only stable way to put a frozenset-of-frozensets in a
+    deterministic report."""
+    return sorted(
+        [[k, v] for k, v in sorted(beh)] for beh in behaviors
+    )
+
+
+def canonical_json(obj) -> str:
+    """One-line canonical encoding: same object, same bytes, always."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,223 @@
+"""Seeded case generators for the differential fuzzer.
+
+Three families, all driven by a caller-provided :class:`random.Random`
+so the same seed always yields the same cases regardless of
+``PYTHONHASHSEED``:
+
+* :func:`gen_litmus` — small litmus programs (2-4 threads) at any of
+  the three language levels, with the access annotations, fences, RMW
+  flavors, and dependency shapes each level permits.  The
+  ``stress_safe`` form stays inside the operational stress harness's
+  envelope (Arm level, constant stores, no conditionals, no syntactic
+  dependencies — the machine ignores ``dep``, so emitting one would
+  let the *axiomatic* side forbid an outcome the machine legitimately
+  shows).
+* :func:`gen_x86_block` — straight-line-ish guest x86 blocks (one
+  optional forward branch) for the DBT-vs-reference-interpreter
+  differential path.
+* :func:`gen_kernel_spec` — tiny multithreaded kernels for whole-
+  pipeline checksum comparison across DBT variants and native runs.
+
+Size bounds are deliberately tight: the axiomatic enumerators are
+exponential in event count, and a fuzzer that times out on one case in
+ten finds fewer bugs per minute than one that runs small cases fast.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from ..core.events import Arch, Fence, Mode, RmwFlavor
+from ..core.program import FenceOp, If, Load, Program, Rmw, Store
+from ..workloads.kernels import KernelSpec
+
+LOCATIONS = ("X", "Y", "Z")
+VALUES = (1, 2, 3)
+
+_X86_FENCES = (Fence.MFENCE,)
+_TCG_FENCES = (Fence.FRR, Fence.FRW, Fence.FRM, Fence.FWW, Fence.FWR,
+               Fence.FWM, Fence.FMR, Fence.FMW, Fence.FMM, Fence.FACQ,
+               Fence.FREL, Fence.FSC)
+_ARM_FENCES = (Fence.DMBFF, Fence.DMBLD, Fence.DMBST)
+
+_ARM_LOAD_MODES = (Mode.PLAIN, Mode.PLAIN, Mode.ACQ, Mode.ACQ_PC)
+_ARM_STORE_MODES = (Mode.PLAIN, Mode.PLAIN, Mode.PLAIN, Mode.REL)
+
+
+def _fences_for(arch: Arch) -> tuple[Fence, ...]:
+    return {Arch.X86: _X86_FENCES, Arch.TCG: _TCG_FENCES,
+            Arch.ARM: _ARM_FENCES}[arch]
+
+
+def _gen_rmw(rng: Random, arch: Arch, loc: str,
+             out: str | None) -> Rmw:
+    expect = rng.choice((0,) + VALUES)
+    new = rng.choice(VALUES)
+    if arch is Arch.X86:
+        return Rmw(loc, expect, new, RmwFlavor.X86, out=out)
+    if arch is Arch.TCG:
+        return Rmw(loc, expect, new, RmwFlavor.TCG, out=out)
+    flavor = rng.choice((RmwFlavor.AMO, RmwFlavor.LXSX))
+    return Rmw(loc, expect, new, flavor,
+               acq=rng.random() < 0.5, rel=rng.random() < 0.5,
+               out=out)
+
+
+def _gen_ops(rng: Random, arch: Arch, tid: int, locs: tuple[str, ...],
+             n_ops: int, defined: list[str], reg_counter: list[int],
+             stress_safe: bool, allow_if: bool) -> tuple:
+    """One thread body (or branch arm); mutates ``defined`` in place.
+    Branch arms get a *copy*: a register defined only inside an arm is
+    conditionally defined, and program validation rightly rejects later
+    uses of it."""
+    ops: list = []
+    for _ in range(n_ops):
+        loc = rng.choice(locs)
+        roll = rng.random()
+        if roll < 0.35:  # store
+            if stress_safe or not defined or rng.random() < 0.7:
+                value: int | str = rng.choice(VALUES)
+            else:
+                value = rng.choice(defined)
+            dep = None
+            if not stress_safe and defined and rng.random() < 0.15:
+                dep = rng.choice(defined)
+            mode = Mode.PLAIN if arch is not Arch.ARM \
+                else rng.choice(_ARM_STORE_MODES)
+            ops.append(Store(loc, value, mode=mode, dep=dep))
+        elif roll < 0.70:  # load
+            reg = f"t{tid}r{reg_counter[0]}"
+            reg_counter[0] += 1
+            mode = Mode.PLAIN if arch is not Arch.ARM \
+                else rng.choice(_ARM_LOAD_MODES)
+            ops.append(Load(reg, loc, mode=mode))
+            defined.append(reg)
+        elif roll < 0.85:  # fence
+            ops.append(FenceOp(rng.choice(_fences_for(arch))))
+        elif roll < 0.95 or not (allow_if and defined):  # rmw
+            out = None
+            if rng.random() < 0.5:
+                out = f"t{tid}r{reg_counter[0]}"
+                reg_counter[0] += 1
+                defined.append(out)
+            ops.append(_gen_rmw(rng, arch, loc, out))
+        else:  # conditional (control dependency)
+            reg = rng.choice(defined)
+            arm = _gen_ops(rng, arch, tid, locs, rng.randint(1, 2),
+                           list(defined), reg_counter, stress_safe,
+                           allow_if=False)
+            ops.append(If(reg, rng.choice((0,) + VALUES),
+                          then_ops=arm))
+    return tuple(ops)
+
+
+def gen_litmus(rng: Random, arch: Arch, name: str = "fuzz",
+               stress_safe: bool = False) -> Program:
+    """A random litmus program at the given language level."""
+    if stress_safe and arch is not Arch.ARM:
+        raise ValueError("stress-safe programs must be Arm-level")
+    if stress_safe:
+        n_threads = 2
+        max_ops = 3
+        n_locs = 2
+    else:
+        n_threads = rng.randint(2, 4)
+        max_ops = 4
+        n_locs = rng.randint(2, 3)
+    locs = LOCATIONS[:n_locs]
+    threads = []
+    for tid in range(n_threads):
+        defined: list[str] = []
+        threads.append(_gen_ops(
+            rng, arch, tid, locs, rng.randint(1, max_ops), defined,
+            reg_counter=[0], stress_safe=stress_safe,
+            allow_if=not stress_safe))
+    init = tuple(
+        (loc, rng.choice(VALUES)) for loc in locs
+        if rng.random() < 0.2
+    )
+    return Program(name=name, arch=arch, threads=tuple(threads),
+                   init=init)
+
+
+# ----------------------------------------------------------------------
+# x86 basic blocks for the DBT differential path
+# ----------------------------------------------------------------------
+_BLOCK_REGS = ("rax", "rbx", "rcx", "rdx", "r8", "r9", "r10", "r11")
+#: rbx is reserved as the scratch-memory base inside generated blocks.
+_FREE_REGS = tuple(r for r in _BLOCK_REGS if r != "rbx")
+_SCRATCH = 0x9000
+_ALU2 = ("add", "sub", "xor", "or", "and", "imul")
+_ALU1 = ("inc", "dec", "neg", "not")
+_JCC = ("je", "jne", "jl", "jge", "jg", "jle")
+
+
+def gen_x86_block(rng: Random) -> str:
+    """A random guest x86 block (text assembly, no trailing hlt).
+
+    Straight-line ALU/memory traffic over a scratch region, optional
+    fences and LOCK'd RMWs, and at most one forward branch — enough to
+    exercise decode → IR → optimize → Arm codegen without tripping the
+    reference interpreter's undefined corners (div, wild addresses).
+    """
+    lines = [f"    mov rbx, {_SCRATCH}"]
+    for reg in rng.sample(_FREE_REGS, 3):
+        lines.append(f"    mov {reg}, {rng.randint(0, 0xFFFF)}")
+    n_ops = rng.randint(4, 12)
+    branch_budget = 1
+    i = 0
+    while i < n_ops:
+        i += 1
+        roll = rng.random()
+        reg = rng.choice(_FREE_REGS)
+        off = 8 * rng.randint(0, 7)
+        if roll < 0.30:
+            op = rng.choice(_ALU2)
+            src = rng.choice(_FREE_REGS) if rng.random() < 0.5 \
+                else str(rng.randint(1, 255))
+            lines.append(f"    {op} {reg}, {src}")
+        elif roll < 0.45:
+            lines.append(f"    {rng.choice(_ALU1)} {reg}")
+        elif roll < 0.55:
+            lines.append(f"    {rng.choice(('shl', 'shr', 'sar'))} "
+                         f"{reg}, {rng.randint(1, 3)}")
+        elif roll < 0.70:
+            lines.append(f"    mov [rbx + {off}], {reg}")
+        elif roll < 0.82:
+            lines.append(f"    mov {reg}, [rbx + {off}]")
+        elif roll < 0.88:
+            lines.append("    mfence")
+        elif roll < 0.94:
+            lines.append(f"    lock xadd [rbx + {off}], {reg}")
+        elif branch_budget and rng.random() < 0.8:
+            # One forward skip: cmp/jcc over a couple of ops.
+            branch_budget = 0
+            label = "skip"
+            lines.append(f"    cmp {reg}, {rng.randint(0, 4)}")
+            lines.append(f"    {rng.choice(_JCC)} {label}")
+            for _ in range(rng.randint(1, 2)):
+                tgt = rng.choice(_FREE_REGS)
+                lines.append(f"    add {tgt}, {rng.randint(1, 9)}")
+            lines.append(f"{label}:")
+        else:
+            lines.append("    lock cmpxchg [rbx], rcx")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Kernel specs for whole-pipeline differential runs
+# ----------------------------------------------------------------------
+def gen_kernel_spec(rng: Random, name: str = "fuzzk") -> KernelSpec:
+    """A tiny kernel: every DBT variant and the native build must agree
+    on its checksum and exit code."""
+    return KernelSpec(
+        name=name,
+        loads=rng.randint(0, 3),
+        stores=rng.randint(0, 2),
+        alu=rng.randint(0, 4),
+        fp=rng.randint(0, 2),
+        iterations=rng.randint(30, 80),
+        threads=rng.randint(1, 2),
+        working_set=64,
+        suite="fuzz",
+    )

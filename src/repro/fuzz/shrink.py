@@ -1,0 +1,58 @@
+"""Greedy shrinking of diverging fuzz cases.
+
+Given a case an oracle flagged as a divergence, repeatedly try the
+oracle's own smaller variants and commit to the first one that still
+diverges — restarting the scan from the smaller case (greedy descent
+to a local fixpoint).  The result is 1-minimal with respect to the
+oracle's candidate moves: no single move both shrinks it and keeps the
+divergence.
+
+Candidates that are *invalid* — a shrunk program with an undefined
+register, a transform site that no longer applies, an unassemblable
+block — raise or skip inside ``check``; both count as "does not
+reproduce" and the candidate is discarded.  The check budget bounds
+total work so a pathological case cannot stall a fuzz run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    case: dict
+    #: Checks actually spent (for observability and tests).
+    checks: int
+    #: Size before / after, by the oracle's own metric.
+    initial_size: int
+    final_size: int
+
+
+def shrink_case(oracle, case: dict, budget: int = 150) -> ShrinkResult:
+    """Minimize ``case`` while ``oracle.check`` keeps diverging."""
+    current = case
+    checks = 0
+    initial_size = oracle.case_size(case)
+    improved = True
+    while improved and checks < budget:
+        improved = False
+        for candidate in oracle.shrink_candidates(current):
+            if oracle.case_size(candidate) >= oracle.case_size(current):
+                continue
+            if checks >= budget:
+                break
+            checks += 1
+            try:
+                outcome = oracle.check(candidate)
+            except Exception:
+                # An invalid candidate (unparseable, inapplicable,
+                # out-of-envelope) cannot witness the divergence.
+                continue
+            if outcome.status == "divergence":
+                current = candidate
+                improved = True
+                break
+    return ShrinkResult(case=current, checks=checks,
+                        initial_size=initial_size,
+                        final_size=oracle.case_size(current))

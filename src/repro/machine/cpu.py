@@ -87,7 +87,6 @@ class ArmCore:
         self.regs = {r: 0 for r in GPR}
         self.flags = {"n": False, "z": False, "c": False, "v": False}
         self.buffer = StoreBuffer(mode=self.buffer_mode)
-        self._monitor: int | None = None
         #: pc of the instruction currently executing (the fetch pc,
         #: before advancing) — fence accounting keys the origin map
         #: on it.
@@ -350,7 +349,7 @@ class ArmCore:
         if m in ("ldxr", "ldaxr"):
             addr = self._address(ops[1])
             self.set(ops[0].name, self._mem_load(addr))
-            self._monitor = addr
+            self.memory.register_exclusive(self.core_id, addr)
             self.cycles += costs.exclusive_op
             if m == "ldaxr":
                 self.cycles += costs.acquire_extra
@@ -358,7 +357,7 @@ class ArmCore:
         if m in ("stxr", "stlxr"):
             status, src, mem = ops
             addr = self._address(mem)
-            ok = self._monitor == addr
+            ok = self.memory.take_exclusive(self.core_id, addr)
             if ok and self.spurious_failure_rate and \
                     self.rng.random() < self.spurious_failure_rate:
                 ok = False
@@ -371,7 +370,6 @@ class ArmCore:
                 self.set(status.name, 0)
             else:
                 self.set(status.name, 1)
-            self._monitor = None
             self.cycles += costs.exclusive_op
             if m == "stlxr":
                 self.cycles += costs.release_extra

@@ -38,6 +38,11 @@ class Memory:
     def __init__(self):
         self._words: dict[int, int] = {}
         self._images: list[Image] = []
+        #: Global exclusives monitor: core_id -> reserved word address.
+        #: Any committed store to a reserved address clears the
+        #: reservation, so a cross-core write landing between a core's
+        #: LDXR and STXR makes the STXR fail (atomicity).
+        self._exclusive: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Code images
@@ -77,6 +82,22 @@ class Memory:
 
     def store_word(self, addr: int, value: int) -> None:
         self._words[addr] = value & ((1 << 64) - 1)
+        if self._exclusive:
+            stale = [cid for cid, watched in self._exclusive.items()
+                     if watched == addr]
+            for cid in stale:
+                del self._exclusive[cid]
+
+    # ------------------------------------------------------------------
+    # Exclusives monitor
+    # ------------------------------------------------------------------
+    def register_exclusive(self, core_id: int, addr: int) -> None:
+        """LDXR: reserve ``addr`` for ``core_id``."""
+        self._exclusive[core_id] = addr
+
+    def take_exclusive(self, core_id: int, addr: int) -> bool:
+        """STXR: consume the reservation; True iff it was still valid."""
+        return self._exclusive.pop(core_id, None) == addr
 
     def snapshot(self) -> dict[int, int]:
         """Copy of all explicitly-written words (for test assertions)."""

@@ -37,13 +37,18 @@ def merge_fences_pass(block: TCGBlock) -> int:
                 merged += 1
                 continue
             if open_fence is not None:
-                # The merged barrier is an optimizer artefact: its
+                # A *strengthened* barrier is an optimizer artefact: its
                 # cycles are attributed to the merge decision, not to
-                # either contributing mapping rule.
+                # either contributing mapping rule.  A pure subsumption
+                # (the incoming mask is a subset, the union leaves the
+                # survivor unchanged) keeps the survivor's mapping-rule
+                # origin — retagging it would mis-bill unstrengthened
+                # fences to the optimizer in the by-origin footers.
                 prev_mask = new_ops[open_fence].args[0].value
-                new_ops[open_fence] = Op(
-                    "mb", (Const(prev_mask | mask),),
-                    origin="fence_merge:strengthen")
+                if prev_mask | mask != prev_mask:
+                    new_ops[open_fence] = Op(
+                        "mb", (Const(prev_mask | mask),),
+                        origin="fence_merge:strengthen")
                 merged += 1
             else:
                 open_fence = len(new_ops)

@@ -68,7 +68,15 @@ def _loop_body_x86(spec: KernelSpec) -> list[str]:
     for i in range(spec.loads):
         lines.append(f"    mov r1{0 if i % 2 == 0 else 1}, "
                      f"[rsi + rdx + {8 * i}]")
-    value_regs = ["r10", "r11"] if spec.loads else ["rcx", "rcx"]
+    # Only registers the loop actually loads may feed the ALU mix:
+    # with a single load, r11/x12 would diverge between the ISAs (x12
+    # is clobbered by the Arm spawn harness, r11 stays 0).
+    if spec.loads >= 2:
+        value_regs = ["r10", "r11"]
+    elif spec.loads == 1:
+        value_regs = ["r10", "r10"]
+    else:
+        value_regs = ["rcx", "rcx"]
     for i in range(spec.alu):
         template = _ALU_X86[i % len(_ALU_X86)]
         lines.append("    " + template.format(v=value_regs[i % 2]))
@@ -88,7 +96,12 @@ def _loop_body_arm(spec: KernelSpec) -> list[str]:
     for i in range(spec.loads):
         reg = "x11" if i % 2 == 0 else "x12"
         lines.append(f"    ldr {reg}, [x9, #{8 * i}]")
-    value_regs = ["x11", "x12"] if spec.loads else ["x2", "x2"]
+    if spec.loads >= 2:
+        value_regs = ["x11", "x12"]
+    elif spec.loads == 1:
+        value_regs = ["x11", "x11"]
+    else:
+        value_regs = ["x2", "x2"]
     for i in range(spec.alu):
         template = _ALU_ARM[i % len(_ALU_ARM)]
         lines.append("    " + template.format(v=value_regs[i % 2]))

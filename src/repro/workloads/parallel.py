@@ -142,8 +142,10 @@ class RunRow:
     #: decision); values sum exactly to ``fence_cycles``.
     fence_origin_cycles: dict = field(default_factory=dict)
     #: hottest translated blocks: (guest_pc, dispatches, cycles)
-    #: triples, by attributed cycles, descending.
-    hot_blocks: tuple = ()
+    #: triples, by attributed cycles, descending.  ``None`` when the
+    #: run tracked no profile at all (native runs), as opposed to
+    #: ``()`` — "tracked, but nothing dispatched".
+    hot_blocks: tuple | None = ()
     #: metrics-registry snapshot of this run (the picklable wire form
     #: of :meth:`repro.obs.metrics.MetricsRegistry.snapshot`), merged
     #: across the process boundary by :func:`run_parallel`.
@@ -163,8 +165,12 @@ class RunRow:
 HOT_BLOCK_LIMIT = 8
 
 
-def _hot_blocks(result) -> tuple:
-    profile = getattr(result, "block_profile", None) or {}
+def _hot_blocks(result) -> tuple | None:
+    profile = getattr(result, "block_profile", None)
+    if profile is None:
+        # The run tracked no profile (native) — keep the distinction
+        # from "tracked but empty" all the way into the exports.
+        return None
     ranked = sorted(profile.items(),
                     key=lambda item: (-item[1][1], item[0]))
     return tuple(

@@ -163,6 +163,20 @@ class TestDiskLayer:
         assert behavior_cache.clear_disk_cache() >= 1
         assert not list(disk_cache.glob("*.json"))
 
+    def test_clear_disk_cache_sweeps_orphaned_tmp(self, disk_cache):
+        """Regression: a writer killed between ``mkstemp`` and
+        ``os.replace`` leaves a ``*.tmp`` orphan that nothing else
+        removes; ``clear_disk_cache`` must sweep and count it."""
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        behaviors(prog, X86)
+        orphan = disk_cache / "deadbeef.tmp"
+        orphan.write_text("{\"partial\":")
+        removed = behavior_cache.clear_disk_cache()
+        assert removed >= 2  # the real entry plus the planted orphan
+        assert not orphan.exists()
+        assert not list(disk_cache.glob("*.json"))
+        assert not list(disk_cache.glob("*.tmp"))
+
     def test_clear_with_disk_flag(self, disk_cache):
         prog = x86("p", (W("X", 1),), (R("a", "X"),))
         behaviors(prog, X86)

@@ -1,0 +1,38 @@
+"""Replay every committed reproducer in ``tests/fuzz_corpus/``.
+
+Each corpus file is a minimized case the fuzzer (or a paper bug fed
+through its shrinker) produced, together with the status it must
+report: known bugs stay ``divergence``, fixed/correct counterparts stay
+``ok``.  A corpus case changing status is a regression either way."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import make_oracles
+
+CORPUS = Path(__file__).resolve().parent.parent / "fuzz_corpus"
+CASES = sorted(CORPUS.glob("*.json"))
+
+
+def load(path):
+    entry = json.loads(path.read_text())
+    for key in ("oracle", "case", "expect"):
+        assert key in entry, f"{path.name}: missing {key!r}"
+    assert entry["expect"] in ("ok", "divergence")
+    return entry
+
+
+def test_corpus_is_not_empty():
+    assert len(CASES) >= 5
+
+
+@pytest.mark.parametrize("path", CASES, ids=[p.stem for p in CASES])
+def test_replay(path):
+    entry = load(path)
+    (oracle,) = make_oracles((entry["oracle"],))
+    outcome = oracle.check(entry["case"])
+    assert outcome.status == entry["expect"], (
+        f"{path.name}: expected {entry['expect']}, got "
+        f"{outcome.status} ({outcome.detail})")

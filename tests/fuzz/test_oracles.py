@@ -1,0 +1,107 @@
+"""Oracle behaviour: green on generated batches, loud on the paper's
+known bugs, skip outside the envelope."""
+
+from random import Random
+
+import pytest
+
+from repro.core import Fence, litmus_library as L, mappings as M
+from repro.core.litmus_library import R, W, tcg
+from repro.core.program import FenceOp
+from repro.errors import ReproError
+from repro.fuzz import make_oracles, program_to_json
+from repro.fuzz.oracles import ORACLES, applicable_sites
+
+
+def oracle(name):
+    (instance,) = make_oracles((name,))
+    return instance
+
+
+def run_batch(name, n, seed="batch"):
+    instance = oracle(name)
+    outcomes = []
+    for i in range(n):
+        case = instance.generate(Random(f"{seed}:{i}"))
+        outcomes.append((case, instance.check(case)))
+    return outcomes
+
+
+class TestGreenBatches:
+    """Small seeded batches of every oracle must be divergence-free —
+    the repo's subsystems agree with each other on generated cases."""
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_no_divergence(self, name):
+        n = 6 if name in ("machine-vs-axiomatic",
+                          "dbt-differential") else 10
+        for case, outcome in run_batch(name, n):
+            assert outcome.status in ("ok", "skip"), \
+                f"{name} diverged on {case}: {outcome.detail}"
+
+    def test_batches_mostly_check_not_skip(self):
+        outcomes = [o for _, o in run_batch("staged-vs-naive", 15)]
+        assert sum(o.status == "ok" for o in outcomes) >= 10
+
+
+class TestKnownBugsDetected:
+    def test_qemu_gcc9_mapping_diverges_on_mpq(self):
+        instance = oracle("dbt-differential")
+        case = {"kind": "mapping",
+                "program": program_to_json(L.MPQ.program),
+                "mapping": M.qemu_x86_to_arm_gcc9.name}
+        outcome = instance.check(case)
+        assert outcome.status == "divergence"
+        assert outcome.detail["new_behaviors"]
+
+    def test_risotto_mapping_stays_green_on_mpq(self):
+        instance = oracle("dbt-differential")
+        case = {"kind": "mapping",
+                "program": program_to_json(L.MPQ.program),
+                "mapping": M.risotto_x86_to_arm_rmw1.name}
+        assert instance.check(case).status == "ok"
+
+    def test_fmr_raw_elimination_diverges(self):
+        instance = oracle("transform-oracle")
+        case = {"kind": "transform",
+                "program": program_to_json(L.FMR_SOURCE),
+                "transform": "eliminate_raw", "tid": 0, "idx": 2}
+        outcome = instance.check(case)
+        assert outcome.status == "divergence"
+
+    def test_transform_oracle_green_on_safe_merge(self):
+        instance = oracle("transform-oracle")
+        src = tcg("merge-ok",
+                  (R("a", "X"), FenceOp(Fence.FRM), FenceOp(Fence.FWW),
+                   W("Y", 1)),
+                  (R("p", "Y"), FenceOp(Fence.FRR), R("q", "X")))
+        case = {"kind": "transform", "program": program_to_json(src),
+                "transform": "merge_adjacent_fences", "tid": 0,
+                "idx": 1}
+        assert instance.check(case).status == "ok"
+
+
+class TestEnvelope:
+    def test_inapplicable_transform_skips(self):
+        instance = oracle("transform-oracle")
+        src = tcg("p", (W("X", 1), W("Y", 1)))
+        case = {"kind": "transform", "program": program_to_json(src),
+                "transform": "eliminate_rar", "tid": 0, "idx": 0}
+        assert instance.check(case).status == "skip"
+
+    def test_unassemblable_block_skips(self):
+        instance = oracle("dbt-differential")
+        case = {"kind": "block", "source": "    bogus rax, rbx"}
+        assert instance.check(case).status == "skip"
+
+    def test_unknown_oracle_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown oracle"):
+            make_oracles(("no-such-oracle",))
+
+    def test_applicable_sites_avoid_fenced_elimination_contexts(self):
+        """Eliminations are only proposed in fence/RMW-free threads —
+        the FMR finding shows they are not uniformly safe elsewhere."""
+        sites = applicable_sites(L.FMR_SOURCE)
+        elim = [s for s in sites
+                if s["transform"].startswith("eliminate")]
+        assert elim == []

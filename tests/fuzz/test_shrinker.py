@@ -1,0 +1,62 @@
+"""Shrinker behaviour on a seeded synthetic divergence.
+
+The FMR transform bug is padded with irrelevant baggage — an extra
+noise thread, init entries, a dead store — and the shrinker must strip
+all of it while the divergence keeps reproducing, landing on a
+1-minimal case (no single remaining move shrinks it further)."""
+
+from repro.core import litmus_library as L
+from repro.fuzz import make_oracles, program_to_json, shrink_case
+
+
+def padded_fmr_case():
+    base = program_to_json(L.FMR_SOURCE)
+    base["threads"] = [list(t) for t in base["threads"]]
+    # Noise: an unrelated observer thread, a dead store appended to the
+    # second thread, and two init entries.
+    base["threads"].append([["R", "t9r0", "Z", "plain"]])
+    base["threads"][1] = base["threads"][1] + [["W", "Z", 3, "plain",
+                                                None]]
+    base["init"] = [["X", 0], ["Y", 0]]
+    return {"kind": "transform", "program": base,
+            "transform": "eliminate_raw", "tid": 0, "idx": 2}
+
+
+class TestShrinkFmr:
+    def test_strips_all_padding(self):
+        (oracle,) = make_oracles(("transform-oracle",))
+        case = padded_fmr_case()
+        assert oracle.check(case).status == "divergence"
+        result = shrink_case(oracle, case, budget=250)
+        assert result.final_size < result.initial_size
+        minimized = result.case
+        # The padding is gone: noise thread, init entries ...
+        assert len(minimized["program"]["threads"]) == 2
+        assert minimized["program"]["init"] == []
+        # ... and the result still reproduces.
+        assert oracle.check(minimized).status == "divergence"
+
+    def test_result_is_one_minimal(self):
+        (oracle,) = make_oracles(("transform-oracle",))
+        result = shrink_case(oracle, padded_fmr_case(), budget=250)
+        for candidate in oracle.shrink_candidates(result.case):
+            if oracle.case_size(candidate) >= \
+                    oracle.case_size(result.case):
+                continue
+            try:
+                outcome = oracle.check(candidate)
+            except Exception:
+                continue
+            assert outcome.status != "divergence", (
+                f"not 1-minimal: {candidate} still diverges")
+
+    def test_shrink_is_deterministic(self):
+        (oracle,) = make_oracles(("transform-oracle",))
+        a = shrink_case(oracle, padded_fmr_case(), budget=250)
+        b = shrink_case(oracle, padded_fmr_case(), budget=250)
+        assert a == b
+
+    def test_budget_bounds_checks(self):
+        (oracle,) = make_oracles(("transform-oracle",))
+        result = shrink_case(oracle, padded_fmr_case(), budget=3)
+        assert result.checks <= 3

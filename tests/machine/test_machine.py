@@ -222,6 +222,24 @@ class TestCore:
         assert machine.memory.load_word(4096) == 9
         assert core.get("x3") == 0
 
+    def test_exclusive_reservation_cleared_by_foreign_store(self):
+        """The monitor is global: a committed store to the reserved
+        address — e.g. another core's buffer drain landing between
+        LDXR and STXR — invalidates the reservation (fuzzer-found:
+        the old core-local monitor let STXR succeed across it,
+        an atomicity violation the Arm model forbids)."""
+        from repro.machine.memory import Memory
+        mem = Memory()
+        mem.register_exclusive(0, 4096)
+        mem.store_word(4096, 7)
+        assert mem.take_exclusive(0, 4096) is False
+        # Stores elsewhere leave the reservation intact, and taking
+        # it consumes it.
+        mem.register_exclusive(0, 4096)
+        mem.store_word(8192, 7)
+        assert mem.take_exclusive(0, 4096) is True
+        assert mem.take_exclusive(0, 4096) is False
+
     def test_stxr_without_monitor_fails(self):
         core, _ = run_single("""
             mov x1, #4096

@@ -116,6 +116,28 @@ def test_invariants_survive_drain_all_flush(ops, seed):
         assert committed == pushed
 
 
+@settings(max_examples=200, deadline=None)
+@given(ops=programs, seed=st.integers(0, 2**16))
+def test_tso_drains_strictly_fifo(ops, seed):
+    """A TSO buffer is a plain FIFO queue: whatever drain schedule the
+    rng asks for, stores reach memory in exact push order — across
+    addresses, not just per address."""
+    buffer = StoreBuffer(mode=BufferMode.TSO)
+    log = _CommitLog()
+    rng = Random(seed)
+    pushed = []
+    for serial, op in enumerate(ops):
+        if op is None:
+            buffer.barrier()
+        else:
+            buffer.push(op, serial)
+            pushed.append((op, serial))
+    while buffer.drain_one(log, rng):
+        pass
+    assert buffer.pending() == 0
+    assert log.commits == pushed
+
+
 @settings(max_examples=100, deadline=None)
 @given(ops=programs)
 def test_forwarding_sees_latest_own_store(ops):

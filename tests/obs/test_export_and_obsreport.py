@@ -43,6 +43,12 @@ def sweep():
                wall_seconds=0.25,
                fence_origin_cycles={"RMOV->ld;Frm": 60,
                                     "fence_merge:strengthen": 40}),
+        # Native runs execute no translated blocks: their profile is
+        # *untracked* (None), not merely empty — exports must keep the
+        # distinction visible.
+        RunRow(benchmark="alpha", variant="native", cycles=600,
+               fence_cycles=0, total_cycles=600, checksum=7,
+               wall_seconds=0.2, hot_blocks=None),
     ]
     failures = [RunFailure(kind="kernel", benchmark="beta",
                            variant="qemu", seed=7,
@@ -67,13 +73,17 @@ class TestExport:
         assert qemu_row["fence_cycles_by_origin"] == {
             "RMOV->Frr;ld": 250, "WMOV->Fmw;st": 150}
         stats = payload["stats"]
-        assert stats["runs"] == 2
+        assert stats["runs"] == 3
         assert stats["failed_runs"] == 1
         assert stats["fence_cycles_by_origin"]["RMOV->ld;Frm"] == 60
         assert payload["failures"] == [
             "kernel:beta/qemu (seed 7): ReproError: boom"]
         assert payload["hot_blocks"]["alpha/qemu"] == [
             [0x400290, 12, 900], [0x400300, 3, 100]]
+        # Untracked (native) profiles export an explicit null; tracked-
+        # but-empty profiles (risotto's default) are omitted entirely.
+        assert payload["hot_blocks"]["alpha/native"] is None
+        assert "alpha/risotto" not in payload["hot_blocks"]
         assert "repro_runs_total" in payload["metrics"]["metrics"]
 
     def test_origin_buckets_partition_fence_cycles(self, table):
@@ -110,7 +120,7 @@ class TestRenderBench:
             source="bench_fig12.json")
         assert "=== bench export: fig12 (bench_fig12.json) ===" in text
         assert "alpha" in text and "risotto" in text
-        assert "runs: 2   failed: 1   workers: 2" in text
+        assert "runs: 3   failed: 1   workers: 2" in text
         assert "fence cycles by origin:" in text
         assert "RMOV->Frr;ld" in text
         assert "FAILED: kernel:beta/qemu (seed 7): " \

@@ -302,6 +302,33 @@ class TestFenceMerge:
         assert merge_fences_pass(block) == 1
         assert block.ops == []
 
+    def test_pure_subsumption_keeps_mapping_rule_origin(self):
+        """Merging a subset-mask fence must not retag the survivor.
+
+        The union leaves the surviving mask unchanged, so the fence the
+        mapping rule emitted was never strengthened — billing it to
+        ``fence_merge:strengthen`` would misattribute its cycles in the
+        by-origin footers (Figure 12).
+        """
+        block = make_block(
+            Op("mb", (Const(MO_LD_LD | MO_LD_ST),),
+               origin="RMOV->ld;Frm"),
+            Op("mb", (Const(MO_LD_LD),), origin="RMOV->ld;Frr"),
+        )
+        assert merge_fences_pass(block) == 1
+        assert len(block.ops) == 1
+        assert block.ops[0].args[0].value == MO_LD_LD | MO_LD_ST
+        assert block.ops[0].origin == "RMOV->ld;Frm"
+
+    def test_genuine_strengthen_retags_to_optimizer(self):
+        block = make_block(
+            Op("mb", (Const(MO_LD_LD),), origin="RMOV->ld;Frr"),
+            Op("mb", (Const(MO_ST_ST),), origin="WMOV->Fww;st"),
+        )
+        assert merge_fences_pass(block) == 1
+        assert block.ops[0].args[0].value == MO_LD_LD | MO_ST_ST
+        assert block.ops[0].origin == "fence_merge:strengthen"
+
 
 class TestDeadCode:
     def test_unused_pure_op_removed(self):
