@@ -18,8 +18,7 @@ from repro.dbt.config import RISOTTO, TCG_VER
 from repro.loader.gelf import build_binary
 from repro.machine.timing import CostModel
 from repro.tcg.optimizer import OptimizerConfig
-from repro.workloads import SPEC_BY_NAME, run_kernel
-from repro.workloads.kernels import gen_x86_program
+from repro.api import SPEC_BY_NAME, gen_x86_program, run_kernel
 
 
 def _run_config(config, spec):
@@ -38,7 +37,7 @@ def ablation_rows():
     rows = {
         "tcg-ver": _run_config(TCG_VER, spec),
         "tcg-ver-nomerge": _run_config(no_merge, spec),
-        "qemu": run_kernel(spec, "qemu").result,
+        "qemu": run_kernel(spec, variant="qemu").result,
     }
     return spec, rows
 
@@ -74,9 +73,9 @@ def test_block_chaining_contribution(benchmark):
     spec = replace(SPEC_BY_NAME["histogram"], iterations=300)
 
     def run_pair():
-        chained = run_kernel(spec, "risotto").result
+        chained = run_kernel(spec, variant="risotto").result
         slow = CostModel().scaled(tb_chain=CostModel().tb_entry)
-        unchained = run_kernel(spec, "risotto", costs=slow).result
+        unchained = run_kernel(spec, variant="risotto", costs=slow).result
         return chained, unchained
 
     chained, unchained = benchmark.pedantic(run_pair, rounds=1,

@@ -14,7 +14,7 @@ bit-identical to a serial sweep whatever the worker count.
 import pytest
 
 from repro.analysis import BenchTable, figure12_report, run_stats_footer
-from repro.workloads import ALL_SPECS, kernel_grid, run_parallel
+from repro.api import ALL_SPECS, kernel_grid, run_parallel
 
 VARIANTS = ("qemu", "no-fences", "tcg-ver", "risotto", "native")
 ITERATIONS = 400
@@ -79,12 +79,12 @@ def test_figure12_chrome_trace(results_dir):
     tracer's event buffer)."""
     from repro.obs.trace import Tracer, install_tracer, \
         validate_chrome_trace
-    from repro.workloads import SPEC_BY_NAME, run_kernel
+    from repro.api import SPEC_BY_NAME, run_kernel
 
     tracer = Tracer()
     previous = install_tracer(tracer)
     try:
-        run_kernel(SPEC_BY_NAME["histogram"], "risotto", seed=7)
+        run_kernel(SPEC_BY_NAME["histogram"], variant="risotto", seed=7)
     finally:
         # restore rather than disable: a REPRO_TRACE=1 session keeps
         # its env tracer for the rest of the harness.

@@ -13,8 +13,7 @@ harness; the host library is rebuilt by name inside each worker.
 import pytest
 
 from repro.analysis import BenchTable, run_stats_footer, speedup_report
-from repro.workloads import library_grid, run_parallel
-from repro.workloads.parallel import DATA_BUF
+from repro.api import DATA_BUF, library_grid, run_parallel
 
 VARIANTS = ("qemu", "risotto", "native")
 

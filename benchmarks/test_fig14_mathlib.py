@@ -14,7 +14,7 @@ import struct
 import pytest
 
 from repro.analysis import BenchTable, run_stats_footer, speedup_report
-from repro.workloads import library_grid, run_parallel
+from repro.api import library_grid, run_parallel
 
 VARIANTS = ("qemu", "risotto", "native")
 FUNCTIONS = ("sqrt", "exp", "log", "cos", "sin", "tan",

@@ -13,9 +13,10 @@ import pytest
 
 from repro.analysis import run_stats_footer
 from repro.analysis.report import figure15_report
-from repro.workloads import cas_grid, run_parallel
-from repro.workloads.casbench import (
+from repro.api import (
     FIGURE15_CONFIGS,
+    cas_grid,
+    run_parallel,
     throughput_from_cycles,
 )
 

@@ -14,7 +14,7 @@ import pytest
 
 from repro.analysis import run_stats_footer
 from repro.core.ablations import ABLATION_REGISTRY
-from repro.workloads import ablation_grid, run_parallel
+from repro.api import ablation_grid, run_parallel
 
 
 @pytest.fixture(scope="module")

@@ -20,7 +20,7 @@ from repro.core.enumerate import (
     enumerate_consistent,
 )
 from repro.core.litmus_library import ALL_TESTS
-from repro.workloads.parallel import RunRow, SweepResult
+from repro.api import RunRow, SweepResult
 
 MODELS = (X86, TCG, ARM, ARM_ORIGINAL)
 

@@ -59,6 +59,9 @@ def _sweep_stats(sweep) -> dict:
             sorted(stats.fence_cycles_by_origin.items())),
         "cache_hits": stats.cache_hits,
         "cache_misses": stats.cache_misses,
+        "xlat_hits": stats.xlat_hits,
+        "xlat_misses": stats.xlat_misses,
+        "xlat_disk_hits": stats.xlat_disk_hits,
         "enum_candidates_naive": stats.enum_candidates_naive,
         "enum_executions": stats.enum_executions,
     }

@@ -77,6 +77,14 @@ def run_stats_footer(sweep, title: str = "harness stats") -> str:
     if stats.fence_cycles_by_origin:
         lines.append(_fence_origin_lines(
             stats.fence_cycles_by_origin, stats.fence_cycles))
+    if stats.xlat_hits or stats.xlat_misses:
+        line = (
+            f"translation cache: {stats.xlat_hits} hits / "
+            f"{stats.xlat_misses} misses "
+            f"({_fmt_pct(stats.xlat_hit_rate).strip()} hit rate)")
+        if stats.xlat_disk_hits:
+            line += f"   from disk: {stats.xlat_disk_hits}"
+        lines.append(line)
     if stats.cache_hits or stats.cache_misses:
         line = (
             f"behavior cache: {stats.cache_hits} hits / "

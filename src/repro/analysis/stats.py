@@ -199,6 +199,12 @@ class SweepStats:
     enum_executions: int = 0
     enum_rf_pruned: int = 0
     enum_rf_rejected: int = 0
+    #: Translation-cache counters: ``xlat_misses`` counts actual
+    #: frontend+optimizer+backend runs (0 on a fully warm sweep);
+    #: ``blocks_translated`` above counts installs, warm or cold.
+    xlat_hits: int = 0
+    xlat_misses: int = 0
+    xlat_disk_hits: int = 0
     #: Fence cycles by provenance tag, summed over the sweep's rows;
     #: values total exactly ``fence_cycles`` when every row is tagged.
     fence_cycles_by_origin: dict = field(default_factory=dict)
@@ -223,6 +229,13 @@ class SweepStats:
         if not lookups:
             return 0.0
         return self.cache_hits / lookups
+
+    @property
+    def xlat_hit_rate(self) -> float:
+        lookups = self.xlat_hits + self.xlat_misses
+        if not lookups:
+            return 0.0
+        return self.xlat_hits / lookups
 
     @property
     def enum_pruned_fraction(self) -> float:
@@ -266,6 +279,9 @@ def aggregate_sweep(sweep) -> SweepStats:
         stats.enum_executions += getattr(row, "enum_executions", 0)
         stats.enum_rf_pruned += getattr(row, "enum_rf_pruned", 0)
         stats.enum_rf_rejected += getattr(row, "enum_rf_rejected", 0)
+        stats.xlat_hits += getattr(row, "xlat_hits", 0)
+        stats.xlat_misses += getattr(row, "xlat_misses", 0)
+        stats.xlat_disk_hits += getattr(row, "xlat_disk_hits", 0)
         by_origin = getattr(row, "fence_origin_cycles", None) or {}
         for origin, cycles in by_origin.items():
             stats.fence_cycles_by_origin[origin] = \

@@ -1,0 +1,159 @@
+"""The stable public surface of the reproduction.
+
+Everything a harness, notebook, or external tool should need lives
+here under one import::
+
+    from repro import api
+
+    sweep = api.run_parallel(api.kernel_grid(api.ALL_SPECS,
+                                             api.VARIANT_NAMES))
+    result = api.run_kernel(api.SPEC_BY_NAME["freqmine"],
+                            variant="risotto", seed=11)
+    engine = api.make_engine(variant="qemu", n_cores=2)
+
+Three rules hold across the surface:
+
+* **consistent names** — the same concept is always spelled the same
+  way: ``variant`` (a :data:`VARIANT_NAMES` entry), ``n_cores``,
+  ``seed``, ``buffer_mode``, ``costs``, ``max_steps``;
+* **keyword-only configuration** — run functions take the workload
+  positionally and everything else keyword-only, so call sites stay
+  readable and argument order can never silently swap;
+* **re-exports are the implementation** — classes and grid builders
+  come straight from their home modules (one definition, one identity:
+  ``api.RunSpec is repro.workloads.RunSpec``); only the run functions
+  are thin signature-normalizing wrappers.
+
+The facade is additive: the underlying modules remain importable and
+stable, but new code (benchmarks/, the fuzzer oracles, the
+``python -m repro`` CLI) goes through :mod:`repro.api` only.
+"""
+
+from __future__ import annotations
+
+from .core.behavior_cache import (
+    cache_dir as behavior_cache_dir,
+    clear_disk_cache as clear_behavior_cache,
+    enabled as behavior_cache_enabled,
+)
+from .core.enumerate import behavior_cache_stats
+from .dbt import DBTConfig, DBTEngine, NATIVE, NativeRunner, \
+    RunResult, VARIANT_NAMES, VARIANTS, resolve_variant
+from .dbt.xlat_cache import (
+    cache_dir as xlat_cache_dir,
+    cache_stats as xlat_cache_stats,
+    clear_disk_cache as clear_xlat_cache,
+    enabled as xlat_cache_enabled,
+    get_cache as get_xlat_cache,
+    reset_memory as reset_xlat_memory,
+)
+from .errors import ReproError
+from .machine.timing import CostModel
+from .machine.weakmem import BufferMode
+from .workloads import (
+    ALL_SPECS,
+    gen_arm_program,
+    gen_x86_program,
+    PARSEC_SPECS,
+    PHOENIX_SPECS,
+    SPEC_BY_NAME,
+    KernelSpec,
+    RunFailure,
+    RunRow,
+    RunSpec,
+    SweepResult,
+    WorkloadResult,
+    ablation_grid,
+    cas_grid,
+    default_workers,
+    execute_spec,
+    kernel_grid,
+    library_grid,
+    run_parallel,
+)
+from .workloads import runner as _runner
+from .workloads.casbench import CasConfig, FIGURE15_CONFIGS, \
+    throughput_from_cycles
+from .workloads.casbench import run_cas_benchmark as _run_cas
+from .workloads.libs import (
+    build_libcrypto,
+    build_libm,
+    build_libsqlite,
+    standard_libraries,
+)
+from .workloads.parallel import DATA_BUF, deterministic_row
+
+__all__ = [
+    # run functions (keyword-only signatures)
+    "run_kernel", "run_library_workload", "run_cas_benchmark",
+    "make_engine",
+    # sweep harness
+    "RunSpec", "RunRow", "RunFailure", "SweepResult", "run_parallel",
+    "execute_spec", "default_workers", "deterministic_row",
+    # workload building blocks
+    "KernelSpec", "CasConfig", "WorkloadResult", "RunResult",
+    "ALL_SPECS", "PARSEC_SPECS", "PHOENIX_SPECS", "SPEC_BY_NAME",
+    "FIGURE15_CONFIGS", "DATA_BUF",
+    "kernel_grid", "library_grid", "cas_grid", "ablation_grid",
+    "build_libm", "build_libcrypto", "build_libsqlite",
+    "standard_libraries", "throughput_from_cycles",
+    "gen_x86_program", "gen_arm_program",
+    # variants and engine construction
+    "VARIANTS", "VARIANT_NAMES", "NATIVE", "resolve_variant",
+    "DBTConfig", "DBTEngine", "NativeRunner",
+    "BufferMode", "CostModel", "ReproError",
+    # cache controls
+    "xlat_cache_stats", "xlat_cache_dir", "xlat_cache_enabled",
+    "clear_xlat_cache", "reset_xlat_memory", "get_xlat_cache",
+    "behavior_cache_stats", "behavior_cache_dir",
+    "behavior_cache_enabled", "clear_behavior_cache",
+]
+
+
+def make_engine(*, variant: str, n_cores: int = 1, seed: int = 42,
+                costs: CostModel | None = None,
+                buffer_mode: BufferMode = BufferMode.WEAK):
+    """Build the engine for ``variant`` on a fresh machine.
+
+    Returns a :class:`~repro.dbt.engine.DBTEngine` for the DBT
+    variants and a :class:`~repro.dbt.engine.NativeRunner` for
+    ``"native"``; raises :class:`~repro.errors.ReproError` naming the
+    valid variants on anything else.
+    """
+    return _runner._make_engine(variant, n_cores, seed, costs,
+                                buffer_mode)
+
+
+def run_kernel(spec: KernelSpec, *, variant: str, seed: int = 7,
+               costs: CostModel | None = None,
+               max_steps: int = 80_000_000,
+               buffer_mode: BufferMode = BufferMode.WEAK,
+               ) -> WorkloadResult:
+    """Run one PARSEC/Phoenix kernel under a variant (or natively)."""
+    return _runner.run_kernel(spec, variant, seed=seed, costs=costs,
+                              max_steps=max_steps,
+                              buffer_mode=buffer_mode)
+
+
+def run_library_workload(function: str, args: tuple[int, ...],
+                         calls: int, *, variant: str, library,
+                         setup_memory=None, seed: int = 7,
+                         costs: CostModel | None = None,
+                         max_steps: int = 80_000_000,
+                         buffer_mode: BufferMode = BufferMode.WEAK,
+                         ) -> WorkloadResult:
+    """Benchmark a shared-library function under a variant."""
+    return _runner.run_library_workload(
+        function, args, calls, variant, library,
+        setup_memory=setup_memory, seed=seed, costs=costs,
+        max_steps=max_steps, buffer_mode=buffer_mode)
+
+
+def run_cas_benchmark(config: CasConfig, *, variant: str,
+                      seed: int = 7,
+                      costs: CostModel | None = None,
+                      buffer_mode: BufferMode = BufferMode.WEAK,
+                      ) -> WorkloadResult:
+    """Run one Figure 15 CAS configuration under a variant."""
+    return _run_cas(config, variant, seed=seed, costs=costs,
+                    buffer_mode=buffer_mode)

@@ -1,0 +1,287 @@
+"""The unified ``python -m repro`` command line.
+
+One entry point over the subsystems that already have their own
+runners (which keep working unchanged):
+
+* ``run`` — execute a figure sweep through the parallel harness and
+  print the paper-style report + stats footer (optionally exporting
+  ``bench_*.json``);
+* ``fuzz`` — the differential fuzzer (delegates to
+  ``python -m repro.fuzz``);
+* ``obsreport`` — render bench/trace artefacts as text (delegates to
+  ``python -m repro.analysis.obsreport``);
+* ``cache`` — inspect or clear the persistent caches (behavior
+  enumeration + block translation).
+
+Everything the CLI runs goes through :mod:`repro.api` — it is the
+facade's first consumer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import api
+from .errors import ReproError
+
+#: Figure sweeps the ``run`` subcommand can regenerate directly (the
+#: library figures 13/14 carry their case tables in benchmarks/ and
+#: run through pytest).
+RUN_FIGURES = ("fig12", "fig15")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Risotto reproduction: sweeps, fuzzing, "
+                    "observability and cache maintenance.",
+    )
+    sub = parser.add_subparsers(dest="command", metavar="command")
+
+    run = sub.add_parser(
+        "run", help="run a figure sweep through the parallel harness")
+    run.add_argument("figure", choices=RUN_FIGURES,
+                     help="which figure's sweep to run")
+    run.add_argument("--benchmarks", metavar="A,B,...",
+                     help="comma-separated benchmark subset "
+                          "(fig12: kernel names)")
+    run.add_argument("--variants", metavar="V,W,...",
+                     help="comma-separated variant subset "
+                          f"(default: all of {api.VARIANT_NAMES})")
+    run.add_argument("--iterations", type=int, default=None,
+                     help="kernel iteration count override (fig12)")
+    run.add_argument("--seed", type=int, default=7,
+                     help="run seed (default 7)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool size (default: REPRO_WORKERS "
+                          "or the cpu count)")
+    run.add_argument("--bench-json", metavar="PATH",
+                     help="write the machine-readable export here")
+    run.add_argument("--no-footer", action="store_true",
+                     help="suppress the harness stats footer")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzer (python -m repro.fuzz)",
+        add_help=False)
+    fuzz.add_argument("args", nargs=argparse.REMAINDER)
+
+    obsreport = sub.add_parser(
+        "obsreport",
+        help="render bench/trace artefacts "
+             "(python -m repro.analysis.obsreport)",
+        add_help=False)
+    obsreport.add_argument("args", nargs=argparse.REMAINDER)
+
+    cache = sub.add_parser(
+        "cache", help="persistent cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command",
+                                     metavar="action")
+    stats = cache_sub.add_parser(
+        "stats", help="show cache locations, sizes and counters")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    clear = cache_sub.add_parser(
+        "clear", help="remove persisted cache entries")
+    clear.add_argument("--xlat", action="store_true",
+                       help="only the translation cache")
+    clear.add_argument("--behavior", action="store_true",
+                       help="only the behavior cache")
+    return parser
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def _csv(value: str | None) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    items = tuple(v.strip() for v in value.split(",") if v.strip())
+    if not items:
+        raise ReproError(f"empty list argument {value!r}")
+    return items
+
+
+def _run_specs(args):
+    variants = _csv(args.variants) or api.VARIANT_NAMES
+    for variant in variants:
+        api.resolve_variant(variant)  # fail early, naming valid names
+    if args.figure == "fig12":
+        specs = api.ALL_SPECS
+        if args.benchmarks:
+            wanted = _csv(args.benchmarks)
+            unknown = set(wanted) - set(api.SPEC_BY_NAME)
+            if unknown:
+                raise ReproError(
+                    f"unknown benchmarks {sorted(unknown)}; expected "
+                    f"a subset of {sorted(api.SPEC_BY_NAME)}")
+            specs = tuple(api.SPEC_BY_NAME[name] for name in wanted)
+        return api.kernel_grid(specs, variants,
+                               iterations=args.iterations,
+                               seed=args.seed)
+    if args.figure == "fig15":
+        return api.cas_grid(api.FIGURE15_CONFIGS, variants,
+                            seed=args.seed)
+    raise ReproError(f"unknown figure {args.figure!r}")  # unreachable
+
+
+def _cmd_run(args) -> int:
+    from .analysis import BenchTable, run_stats_footer
+    from .analysis.export import write_bench_json
+
+    specs = _run_specs(args)
+    sweep = api.run_parallel(specs, workers=args.workers, strict=True)
+    table = BenchTable.from_rows(args.figure, sweep)
+    if args.figure == "fig12":
+        from .analysis import figure12_report
+        if table.baseline in table.variants():
+            print(figure12_report(table))
+        else:
+            print(_cycles_report(table))
+    else:
+        from .analysis.report import figure15_report
+        series = _fig15_series(sweep)
+        print(figure15_report(series))
+    if not args.no_footer:
+        print(run_stats_footer(sweep, f"{args.figure} harness stats"))
+    if args.bench_json:
+        path = write_bench_json(args.bench_json, args.figure,
+                                table=table, sweep=sweep)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cycles_report(table) -> str:
+    """Absolute-cycles table for sweeps that omit the figure's
+    baseline variant (relative run times would be undefined)."""
+    variants = table.variants()
+    lines = [
+        f"{table.name} — cycles "
+        f"(sweep omits the {table.baseline!r} baseline)",
+        f"{'benchmark':18s}" + "".join(f"{v:>14s}" for v in variants),
+    ]
+    for bench in table.benchmarks():
+        cells = "".join(f"{table.cycles(bench, v):14d}"
+                        for v in variants)
+        lines.append(f"{bench:18s}{cells}")
+    return "\n".join(lines)
+
+
+def _fig15_series(sweep) -> dict:
+    """Figure 15's throughput curves from the sweep's rows, as the
+    ``variant -> [(config label, ops/s), ...]`` shape
+    :func:`~repro.analysis.report.figure15_report` renders."""
+    config_by_label = {c.label: c for c in api.FIGURE15_CONFIGS}
+    series: dict[str, list[tuple[str, float]]] = {}
+    for row in sweep:
+        config = config_by_label[row.benchmark]
+        series.setdefault(row.variant, []).append(
+            (row.benchmark,
+             api.throughput_from_cycles(config, row.cycles)))
+    return series
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+def _dir_usage(directory) -> tuple[int, int]:
+    """(file count, total bytes) of a cache directory tree."""
+    entries = files = 0
+    if directory.is_dir():
+        for path in directory.rglob("*.json"):
+            try:
+                entries += path.stat().st_size
+                files += 1
+            except OSError:
+                continue
+    return files, entries
+
+
+def _cache_stats_payload() -> dict:
+    xlat_files, xlat_bytes = _dir_usage(api.xlat_cache_dir())
+    behavior_files, behavior_bytes = _dir_usage(api.behavior_cache_dir())
+    mem = api.behavior_cache_stats()
+    xlat = api.xlat_cache_stats()
+    return {
+        "xlat": {
+            "enabled": api.xlat_cache_enabled(),
+            "dir": str(api.xlat_cache_dir()),
+            "disk_entries": xlat_files,
+            "disk_bytes": xlat_bytes,
+            "hits": xlat.hits,
+            "misses": xlat.misses,
+            "memory_hits": xlat.memory_hits,
+            "disk_hits": xlat.disk_hits,
+            "stores": xlat.stores,
+            "evictions": xlat.evictions,
+            "corrupt_entries": xlat.corrupt_entries,
+        },
+        "behavior": {
+            "enabled": api.behavior_cache_enabled(),
+            "dir": str(api.behavior_cache_dir()),
+            "disk_entries": behavior_files,
+            "disk_bytes": behavior_bytes,
+            "hits": mem.hits,
+            "misses": mem.misses,
+            "disk_hits": mem.disk_hits,
+            "disk_misses": mem.disk_misses,
+        },
+    }
+
+
+def _cmd_cache(args) -> int:
+    if args.cache_command == "stats":
+        payload = _cache_stats_payload()
+        if args.json:
+            print(json.dumps(payload, indent=2))
+            return 0
+        for name, info in payload.items():
+            state = "enabled" if info["enabled"] else "disabled"
+            print(f"{name} cache ({state}): {info['dir']}")
+            print(f"  disk: {info['disk_entries']} entries, "
+                  f"{info['disk_bytes']} bytes")
+            print(f"  this process: {info['hits']} hits / "
+                  f"{info['misses']} misses")
+        return 0
+    if args.cache_command == "clear":
+        both = not (args.xlat or args.behavior)
+        if args.xlat or both:
+            removed = api.clear_xlat_cache()
+            api.reset_xlat_memory()
+            print(f"translation cache: removed {removed} entries "
+                  f"from {api.xlat_cache_dir()}")
+        if args.behavior or both:
+            removed = api.clear_behavior_cache()
+            print(f"behavior cache: removed {removed} entries "
+                  f"from {api.behavior_cache_dir()}")
+        return 0
+    print("usage: python -m repro cache {stats,clear}",
+          file=sys.stderr)
+    return 2
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Delegated subcommands forward their argv untouched; argparse's
+    # REMAINDER cannot (it rejects a leading option, bpo-17050).
+    if argv and argv[0] == "fuzz":
+        from .fuzz.__main__ import main as fuzz_main
+        return fuzz_main(list(argv[1:]))
+    if argv and argv[0] == "obsreport":
+        from .analysis.obsreport import main as obsreport_main
+        return obsreport_main(list(argv[1:]))
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    parser.print_help()
+    return 0 if args.command is None else 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

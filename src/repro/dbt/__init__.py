@@ -1,6 +1,16 @@
 """The Risotto DBT system: configs, runtime, and execution engine."""
 
-from .config import DBTConfig, NO_FENCES, QEMU, RISOTTO, TCG_VER, VARIANTS
+from .config import (
+    DBTConfig,
+    NATIVE,
+    NO_FENCES,
+    QEMU,
+    RISOTTO,
+    TCG_VER,
+    VARIANT_NAMES,
+    VARIANTS,
+    resolve_variant,
+)
 from .engine import DBTEngine, NativeRunner, RunResult
 from .runtime import (
     Runtime,
@@ -15,6 +25,7 @@ from .runtime import (
 
 __all__ = [
     "DBTConfig", "NO_FENCES", "QEMU", "RISOTTO", "TCG_VER", "VARIANTS",
+    "NATIVE", "VARIANT_NAMES", "resolve_variant",
     "DBTEngine", "NativeRunner", "RunResult",
     "Runtime", "RunStats",
     "SYS_EXIT", "SYS_JOIN", "SYS_SPAWN", "SYS_WRITE_INT",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..errors import ReproError
 from ..tcg.frontend_x86 import CasPolicy, FencePolicy, FrontendConfig
 from ..tcg.optimizer import OptimizerConfig
 
@@ -69,3 +70,29 @@ RISOTTO = DBTConfig(
 VARIANTS: dict[str, DBTConfig] = {
     c.name: c for c in (QEMU, NO_FENCES, TCG_VER, RISOTTO)
 }
+
+#: The one non-DBT variant: run the Arm-compiled workload directly.
+NATIVE = "native"
+
+#: Every name a harness/CLI/fuzzer may put in a ``variant`` slot, in
+#: the figures' column order (DBT variants first, native reference
+#: last).  The single registry all variant string-matching goes
+#: through.
+VARIANT_NAMES: tuple[str, ...] = tuple(VARIANTS) + (NATIVE,)
+
+
+def resolve_variant(name: str) -> DBTConfig | None:
+    """The :class:`DBTConfig` for ``name``; ``None`` for ``native``.
+
+    Raises :class:`~repro.errors.ReproError` naming the valid variants
+    on anything else — the one place a bad variant string surfaces,
+    whatever the entry point.
+    """
+    if name == NATIVE:
+        return None
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown variant {name!r}; expected one of "
+            f"{VARIANT_NAMES}") from None

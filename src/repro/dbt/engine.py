@@ -26,6 +26,12 @@ from ..tcg.frontend_x86 import X86Frontend
 from ..tcg.optimizer import OptStats, optimize
 from .config import DBTConfig, RISOTTO
 from .runtime import Runtime, RunStats, THREAD_EXIT_PC
+from .xlat_cache import DECODE_WINDOW, XlatCache, config_fingerprint, \
+    get_cache
+
+#: Sentinel distinguishing "use the environment's cache" from an
+#: explicit ``xlat_cache=None`` (cache off for this engine).
+_ENV_CACHE = object()
 
 
 @dataclass
@@ -66,7 +72,8 @@ class DBTEngine:
                  n_cores: int = 4,
                  costs: CostModel | None = None,
                  seed: int = 42,
-                 buffer_mode: BufferMode = BufferMode.WEAK):
+                 buffer_mode: BufferMode = BufferMode.WEAK,
+                 xlat_cache: XlatCache | None | object = _ENV_CACHE):
         self.config = config
         self.machine = machine or Machine(
             n_cores=n_cores, costs=costs or DEFAULT_COSTS, seed=seed,
@@ -76,6 +83,14 @@ class DBTEngine:
         self.frontend = X86Frontend(config.frontend)
         self.backend = ArmBackend()
         self.opt_stats = OptStats()
+        self.xlat_cache: XlatCache | None = \
+            get_cache() if xlat_cache is _ENV_CACHE else xlat_cache
+        # The key prefix is config-dependent but block-independent, so
+        # hash it once per engine rather than once per block.
+        self._config_fp = config_fingerprint(config) \
+            if self.xlat_cache is not None else ""
+        self._key_window = \
+            config.frontend.block_insn_limit * DECODE_WINDOW
         self._helper_traps: dict[tuple, int] = {}
         self._dispatch_traps = {
             True: self.runtime.make_dispatch_trap(direct=True),
@@ -101,22 +116,60 @@ class DBTEngine:
         return addr
 
     def _translate(self, guest_pc: int) -> int:
-        """Translate one guest block; returns its host address."""
+        """Translate one guest block; returns its host address.
+
+        With the translation cache enabled, a content-fingerprint hit
+        skips frontend, optimizer and backend entirely — only
+        ``_install`` runs, binding this engine's trap addresses into
+        the stored relocatable artifact.  The simulated guest pays the
+        same dispatch cost either way, so results are bit-identical.
+        """
         tracer = get_tracer()
         with tracer.span("dbt.translate", cat="dbt", pc=guest_pc):
-            with tracer.span("dbt.frontend", cat="dbt", pc=guest_pc):
-                block = self.frontend.translate_block(
-                    self.machine.memory, guest_pc)
-            with tracer.span("dbt.optimize", cat="dbt", pc=guest_pc):
-                stats = optimize(block, self.config.optimizer)
+            compiled, stats = self._lookup_or_compile(guest_pc, tracer)
             self.opt_stats.merge(stats)
-            with tracer.span("dbt.backend", cat="dbt", pc=guest_pc):
-                compiled = self.backend.compile_block(block)
             with tracer.span("dbt.install", cat="dbt", pc=guest_pc):
                 host_pc = self._install(compiled)
         self.runtime.stats.blocks_translated += 1
-        self.runtime.stats.guest_insns_translated += block.guest_insns
+        self.runtime.stats.guest_insns_translated += \
+            compiled.guest_insns
         return host_pc
+
+    def _lookup_or_compile(self, guest_pc: int, tracer):
+        """The cacheable part of translation: (CompiledBlock, OptStats).
+
+        The returned ``OptStats`` is the per-block delta — stored with
+        the artifact, so a hit merges the exact stats the optimizer
+        would have produced.
+        """
+        cache = self.xlat_cache
+        key = None
+        if cache is not None:
+            # An unmapped pc yields key=None: fall through so the
+            # frontend raises its canonical fetch error.
+            key = cache.key_for(self.machine.memory, guest_pc,
+                                self._config_fp, self._key_window)
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    self.runtime.stats.xlat_hits += 1
+                    if hit.source == "disk":
+                        self.runtime.stats.xlat_disk_hits += 1
+                    if tracer.enabled:
+                        tracer.instant("dbt.xlat_hit", cat="dbt",
+                                       pc=guest_pc, source=hit.source)
+                    return hit.compiled, hit.opt_stats
+        with tracer.span("dbt.frontend", cat="dbt", pc=guest_pc):
+            block = self.frontend.translate_block(
+                self.machine.memory, guest_pc)
+        with tracer.span("dbt.optimize", cat="dbt", pc=guest_pc):
+            stats = optimize(block, self.config.optimizer)
+        with tracer.span("dbt.backend", cat="dbt", pc=guest_pc):
+            compiled = self.backend.compile_block(block)
+        self.runtime.stats.xlat_misses += 1
+        if key is not None:
+            cache.put(key, compiled, stats)
+        return compiled, stats
 
     def _install(self, compiled: CompiledBlock) -> int:
         labels: dict[str, int] = {}

@@ -95,6 +95,13 @@ class RunStats:
     guest_insns_translated: int = 0
     plt_calls: int = 0
     syscalls: int = 0
+    #: Translation-cache accounting.  ``blocks_translated`` counts
+    #: *installs* (identical warm or cold); ``xlat_misses`` counts
+    #: actual frontend+optimizer+backend pipeline runs, so a fully warm
+    #: run reports 0 misses.  hits + misses == blocks_translated.
+    xlat_hits: int = 0
+    xlat_misses: int = 0
+    xlat_disk_hits: int = 0
     output: list[int] = field(default_factory=list)
 
 

@@ -1,0 +1,499 @@
+"""Persistent sharded translation cache for the DBT pipeline.
+
+Translation is pure: the compiled artifact of a guest block is a
+function of the guest code bytes, the mapping scheme (fence/CAS
+policy), the optimizer pass list, and the translation code itself.
+"On Architecture to Architecture Mapping for Concurrency" makes the
+same observation for the mapping proper — the whole pipeline is
+deterministic, hence perfectly memoizable.  Yet every
+:class:`~repro.dbt.engine.DBTEngine` re-runs frontend → optimizer →
+backend for every block, in every variant, in every ``run_parallel``
+worker, on every invocation, even though the Figure 12–15 sweeps
+translate the same bytes under the same configs each time.
+
+This module memoizes the *pre-install* artifact — the backend's
+:class:`~repro.tcg.backend_arm.CompiledBlock` (relocatable asm text,
+helper/dispatch relocation requests, fence-origin metadata) together
+with the block's :class:`~repro.tcg.optimizer.OptStats` — in two
+levels:
+
+* an **in-memory LRU** shared by every engine in the process (bounded
+  by ``REPRO_XLAT_CACHE_MEM`` entries), and
+* a **persistent on-disk store**, sharded by the first two hex digits
+  of the content fingerprint, shared across ``run_parallel`` workers
+  and across runs.
+
+On a hit the engine skips frontend, optimizer and backend entirely;
+``_install`` still runs per engine, binding the run-specific trap
+addresses through the stored relocation requests, so cached and
+freshly-translated runs are bit-identical (simulated cycles never
+depend on host-side translation work).
+
+Key structure (any change misses, never corrupts):
+
+* **guest code bytes** — a fixed-size window at the block's pc (the
+  decoder's maximal reach, so identical windows imply identical
+  decode), plus the pc itself (blocks embed absolute continuation
+  targets);
+* **config** — the frontend fence/CAS policy and the optimizer pass
+  list (``DBTConfig.name`` is deliberately excluded: identically
+  configured variants share entries);
+* **code salt** — a digest of every module the artifact flows
+  through (IR, frontend, optimizer passes, backend, this module), so
+  editing the translator invalidates stale entries;
+* **schema tag** — :data:`SCHEMA`, bumped on entry-layout changes.
+
+Entries are JSON files written atomically (temp file + ``os.replace``),
+making concurrent pool workers safe: last writer wins with an
+equivalent artifact.  Corrupt or truncated entries read as misses and
+are rewritten by the following store.  The disk layer enforces a byte
+budget (``REPRO_XLAT_CACHE_BUDGET``) by evicting the
+least-recently-written entries.
+
+Configuration via ``REPRO_XLAT_CACHE``: unset uses
+``<cwd>/.repro-cache/xlat``; a path overrides the directory; ``0`` or
+``off`` disables the cache entirely (both levels).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+from ..errors import MachineError
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import get_tracer
+from ..tcg.backend_arm import CompiledBlock, HelperRequest
+from ..tcg.optimizer import OptStats
+
+#: Entry-layout version; part of the key, so a bump orphans (and a
+#: later budget sweep collects) every pre-bump entry.
+SCHEMA = "repro-xlat/1"
+
+ENV_VAR = "REPRO_XLAT_CACHE"
+ENV_BUDGET = "REPRO_XLAT_CACHE_BUDGET"
+ENV_MEM = "REPRO_XLAT_CACHE_MEM"
+_OFF_VALUES = frozenset({"0", "off", "none", "disabled"})
+
+#: Disk budget in bytes (entries are a few hundred bytes each).
+DEFAULT_DISK_BUDGET = 64 * 1024 * 1024
+#: In-memory LRU capacity in entries.
+DEFAULT_MEM_ENTRIES = 4096
+
+#: Bytes the frontend may consult per decoded instruction (it reads
+#: ``read_bytes(cursor, 32)`` per step), so a window of
+#: ``block_insn_limit * 32`` bytes covers every byte a block's decode
+#: can depend on.  Identical windows ⇒ identical translation; a wider
+#: window only risks spurious misses, never wrong hits.
+DECODE_WINDOW = 32
+
+#: Lazily computed digest of the translation-pipeline source.
+_CODE_SALT: str | None = None
+
+
+def _code_salt() -> str:
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        import inspect
+        import sys
+
+        from ..tcg import backend_arm, frontend_x86, ir
+        from ..tcg.optimizer import constprop, deadcode, fence_merge, \
+            memopt
+        from ..tcg import optimizer
+
+        hasher = hashlib.sha256()
+        this_module = sys.modules[__name__]
+        for module in (ir, frontend_x86, optimizer, constprop, memopt,
+                       fence_merge, deadcode, backend_arm,
+                       this_module):
+            try:
+                hasher.update(inspect.getsource(module).encode())
+            except (OSError, TypeError):  # pragma: no cover - frozen
+                hasher.update(module.__name__.encode())
+        _CODE_SALT = hasher.hexdigest()
+    return _CODE_SALT
+
+
+def config_fingerprint(config) -> str:
+    """Digest of what translation consumes from a ``DBTConfig``.
+
+    Covers the frontend config (fence policy, CAS policy, block limit)
+    and the optimizer pass list.  The variant *name* and the host
+    linker flag are excluded: neither changes a single translated
+    block, so identically configured variants share entries.
+    """
+    canonical = repr((config.frontend, config.optimizer))
+    return hashlib.sha256(
+        f"{SCHEMA}|{canonical}|{_code_salt()}".encode()).hexdigest()
+
+
+def block_key(config_fp: str, guest_pc: int, window: bytes) -> str:
+    """The full content fingerprint of one block translation."""
+    hasher = hashlib.sha256()
+    hasher.update(config_fp.encode())
+    hasher.update(guest_pc.to_bytes(8, "little"))
+    hasher.update(window)
+    return hasher.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Counters (surfaced via repro.obs metrics and `python -m repro cache`)
+# ----------------------------------------------------------------------
+@dataclass
+class XlatCacheStats:
+    """Process-wide cache event counters."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+    corrupt_entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+_STATS = XlatCacheStats()
+
+
+def cache_stats() -> XlatCacheStats:
+    """A copy of the process-wide counters."""
+    return XlatCacheStats(**{
+        f.name: getattr(_STATS, f.name) for f in fields(_STATS)
+    })
+
+
+def reset_stats() -> None:
+    for f in fields(_STATS):
+        setattr(_STATS, f.name, 0)
+
+
+def metrics_snapshot() -> dict:
+    """The counters as a :mod:`repro.obs.metrics` snapshot, mergeable
+    into any sweep- or process-level registry."""
+    reg = MetricsRegistry()
+    counter = reg.counter("repro_xlat_cache_events_total",
+                          "Translation-cache events by kind")
+    for f in fields(_STATS):
+        value = getattr(_STATS, f.name)
+        if value:
+            counter.labels(event=f.name).inc(value)
+    return reg.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Environment plumbing
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() \
+        not in _OFF_VALUES
+
+
+def cache_dir() -> Path:
+    override = os.environ.get(ENV_VAR, "").strip()
+    if override and override.lower() not in _OFF_VALUES:
+        return Path(override)
+    return Path.cwd() / ".repro-cache" / "xlat"
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return default
+
+
+def disk_budget() -> int:
+    """Disk budget in bytes; 0 disables eviction."""
+    return _env_int(ENV_BUDGET, DEFAULT_DISK_BUDGET)
+
+
+def mem_entries() -> int:
+    """In-memory LRU capacity; 0 disables the memory level."""
+    return _env_int(ENV_MEM, DEFAULT_MEM_ENTRIES)
+
+
+# ----------------------------------------------------------------------
+# Entry (de)serialization
+# ----------------------------------------------------------------------
+def _entry_to_json(compiled: CompiledBlock, opt: OptStats) -> str:
+    return json.dumps({
+        "schema": SCHEMA,
+        "guest_pc": compiled.guest_pc,
+        "asm": compiled.asm,
+        "helper_requests": [
+            [r.trap_label, r.helper, list(r.arg_regs), r.ret_reg]
+            for r in compiled.helper_requests
+        ],
+        "guest_insns": compiled.guest_insns,
+        "op_count": compiled.op_count,
+        "fence_origins": list(compiled.fence_origins),
+        "opt_stats": [opt.folded, opt.mem_eliminated,
+                      opt.fences_merged, opt.dead_removed],
+    }, separators=(",", ":"))
+
+
+def _entry_from_json(text: str) -> tuple[CompiledBlock, OptStats]:
+    payload = json.loads(text)
+    if payload["schema"] != SCHEMA:
+        raise ValueError(f"schema {payload['schema']!r}")
+    compiled = CompiledBlock(
+        guest_pc=int(payload["guest_pc"]),
+        asm=str(payload["asm"]),
+        helper_requests=[
+            HelperRequest(trap_label=str(label), helper=str(helper),
+                          arg_regs=tuple(args),
+                          ret_reg=ret if ret is None else str(ret))
+            for label, helper, args, ret in payload["helper_requests"]
+        ],
+        guest_insns=int(payload["guest_insns"]),
+        op_count=int(payload["op_count"]),
+        fence_origins=[
+            origin if origin is None else str(origin)
+            for origin in payload["fence_origins"]
+        ],
+    )
+    folded, mem_eliminated, fences_merged, dead_removed = \
+        payload["opt_stats"]
+    opt = OptStats(folded=int(folded),
+                   mem_eliminated=int(mem_eliminated),
+                   fences_merged=int(fences_merged),
+                   dead_removed=int(dead_removed))
+    return compiled, opt
+
+
+@dataclass
+class XlatHit:
+    """A successful lookup: the artifact plus which level served it."""
+
+    compiled: CompiledBlock
+    opt_stats: OptStats
+    source: str  # "memory" | "disk"
+
+
+class XlatCache:
+    """One two-level translation cache (memory LRU over a disk store).
+
+    ``directory=None`` runs memory-only (used by tests); the public
+    entry point is :func:`get_cache`, which builds instances from the
+    environment and shares them process-wide so every engine sees one
+    LRU.
+    """
+
+    def __init__(self, directory: Path | None,
+                 max_mem_entries: int = DEFAULT_MEM_ENTRIES,
+                 max_disk_bytes: int = DEFAULT_DISK_BUDGET):
+        self.directory = Path(directory) if directory else None
+        self.max_mem_entries = max_mem_entries
+        self.max_disk_bytes = max_disk_bytes
+        self._mem: OrderedDict[str, tuple[CompiledBlock, OptStats]] = \
+            OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key_for(self, memory, guest_pc: int, config_fp: str,
+                window_bytes: int) -> str | None:
+        """The content fingerprint for the block at ``guest_pc``, or
+        ``None`` when the pc is unmapped (the frontend then raises the
+        canonical fetch error)."""
+        try:
+            window = memory.read_bytes(guest_pc, window_bytes)
+        except MachineError:
+            return None
+        return block_key(config_fp, guest_pc, window)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        # Sharded by fingerprint prefix: bounded directory fan-out for
+        # large sweeps, and `cache stats` can size shards cheaply.
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> XlatHit | None:
+        _STATS.lookups += 1
+        entry = self._mem.get(key)
+        if entry is not None:
+            self._mem.move_to_end(key)
+            _STATS.hits += 1
+            _STATS.memory_hits += 1
+            return XlatHit(entry[0], entry[1], "memory")
+        if self.directory is not None:
+            path = self._entry_path(key)
+            try:
+                entry = _entry_from_json(path.read_text())
+            except OSError:
+                entry = None  # plain miss
+            except (ValueError, KeyError, TypeError):
+                # Present but unreadable: corruption or a stale layout.
+                # Fall back to translating; the store below rewrites it.
+                _STATS.corrupt_entries += 1
+                entry = None
+            if entry is not None:
+                self._remember(key, entry)
+                _STATS.hits += 1
+                _STATS.disk_hits += 1
+                return XlatHit(entry[0], entry[1], "disk")
+        _STATS.misses += 1
+        return None
+
+    def put(self, key: str, compiled: CompiledBlock,
+            opt: OptStats) -> None:
+        self._remember(key, (compiled, opt))
+        _STATS.stores += 1
+        if self.directory is None:
+            return
+        payload = _entry_to_json(compiled, opt)
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:  # pragma: no cover - read-only cache dir
+            return
+        if self.max_disk_bytes:
+            self.evict_to_budget(keep=key)
+
+    def _remember(self, key: str,
+                  entry: tuple[CompiledBlock, OptStats]) -> None:
+        if not self.max_mem_entries:
+            return
+        self._mem[key] = entry
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.max_mem_entries:
+            self._mem.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _disk_entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) of every entry file, oldest first."""
+        if self.directory is None or not self.directory.is_dir():
+            return []
+        found: list[tuple[float, int, Path]] = []
+        for shard in self.directory.iterdir():
+            if not shard.is_dir():
+                continue
+            for path in shard.glob("*.json"):
+                try:
+                    stat = path.stat()
+                except OSError:  # pragma: no cover - concurrent removal
+                    continue
+                found.append((stat.st_mtime, stat.st_size, path))
+        found.sort(key=lambda item: (item[0], item[2].name))
+        return found
+
+    def disk_usage(self) -> tuple[int, int]:
+        """(entry count, total bytes) of the disk level."""
+        entries = self._disk_entries()
+        return len(entries), sum(size for _, size, _ in entries)
+
+    def evict_to_budget(self, keep: str | None = None) -> int:
+        """Drop least-recently-written entries until the store fits
+        the byte budget; the ``keep`` key (the entry just written)
+        survives even when it alone exceeds the budget.  Returns the
+        number of entries evicted."""
+        if not self.max_disk_bytes:
+            return 0
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in entries:
+            if total <= self.max_disk_bytes:
+                break
+            if keep is not None and path.stem == keep:
+                continue
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent removal
+                continue
+            self._mem.pop(path.stem, None)
+            total -= size
+            evicted += 1
+        if evicted:
+            _STATS.evictions += evicted
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.counter("xlat_cache.evictions", evicted=evicted)
+        return evicted
+
+    def clear_memory(self) -> int:
+        removed = len(self._mem)
+        self._mem.clear()
+        return removed
+
+    def clear_disk(self) -> int:
+        """Remove every disk entry (and orphaned ``*.tmp`` files a
+        dying writer may have left); returns the number removed."""
+        removed = 0
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        for shard in self.directory.iterdir():
+            if not shard.is_dir():
+                continue
+            for pattern in ("*.json", "*.tmp"):
+                for path in shard.glob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:  # pragma: no cover
+                        pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Process-wide instances
+# ----------------------------------------------------------------------
+#: Instances keyed by resolved settings, so monkeypatched environments
+#: get their own cache while every engine under one configuration
+#: shares one memory LRU.
+_INSTANCES: dict[tuple, XlatCache] = {}
+
+
+def get_cache() -> XlatCache | None:
+    """The cache for the current environment, or ``None`` if disabled."""
+    if not enabled():
+        return None
+    key = (str(cache_dir()), mem_entries(), disk_budget())
+    cache = _INSTANCES.get(key)
+    if cache is None:
+        cache = _INSTANCES[key] = XlatCache(
+            cache_dir(), max_mem_entries=mem_entries(),
+            max_disk_bytes=disk_budget())
+    return cache
+
+
+def reset_memory() -> int:
+    """Drop every in-process memory level (disk survives); used by the
+    warm/cold benchmark to attribute hits to the persistent layer."""
+    return sum(cache.clear_memory() for cache in _INSTANCES.values())
+
+
+def clear_disk_cache() -> int:
+    """Remove every disk entry of the current environment's cache."""
+    cache = XlatCache(cache_dir()) if enabled() else None
+    if cache is None:
+        return 0
+    return cache.clear_disk()

@@ -29,7 +29,7 @@ from random import Random
 
 from ..core.events import Arch, Fence, Mode, RmwFlavor
 from ..core.program import FenceOp, If, Load, Program, Rmw, Store
-from ..workloads.kernels import KernelSpec
+from ..api import KernelSpec
 
 LOCATIONS = ("X", "Y", "Z")
 VALUES = (1, 2, 3)

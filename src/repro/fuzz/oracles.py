@@ -266,7 +266,8 @@ class DBTDifferentialOracle:
 
     # -- block leg -----------------------------------------------------
     def _check_block(self, case: dict) -> CheckOutcome:
-        from ..dbt import DBTEngine, VARIANTS, guest_reg
+        from ..api import VARIANTS, make_engine
+        from ..dbt import guest_reg
         from ..dbt.runtime import STACK_BASE, STACK_SIZE, guest_flag
         from ..isa.x86 import CpuState, X86Interpreter, assemble
         from ..isa.x86.insns import GPR
@@ -305,7 +306,7 @@ class DBTDifferentialOracle:
 
         mismatches: list[list] = []
         for variant in sorted(VARIANTS):
-            engine = DBTEngine(VARIANTS[variant], n_cores=1)
+            engine = make_engine(variant=variant, n_cores=1)
             engine.load_image(assembly.base, assembly.code)
             try:
                 engine.run(assembly.base)
@@ -335,14 +336,13 @@ class DBTDifferentialOracle:
 
     # -- kernel leg ----------------------------------------------------
     def _check_kernel(self, case: dict) -> CheckOutcome:
-        from ..workloads.kernels import KernelSpec
-        from ..workloads.runner import ALL_VARIANTS, run_kernel
+        from ..api import KernelSpec, VARIANT_NAMES, run_kernel
 
         spec = KernelSpec(**case["spec"])
         results: dict[str, list] = {}
-        for variant in ALL_VARIANTS:
+        for variant in VARIANT_NAMES:
             try:
-                res = run_kernel(spec, variant)
+                res = run_kernel(spec, variant=variant)
             except ReproError as exc:
                 return CheckOutcome("divergence", {
                     "variant_error": [variant, str(exc)]})

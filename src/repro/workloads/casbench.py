@@ -13,14 +13,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..dbt import DBTEngine, NativeRunner, VARIANTS
-from ..errors import ReproError
+from ..dbt import DBTEngine, NativeRunner, resolve_variant
 from ..isa.arm.assembler import assemble as assemble_arm
 from ..loader.gelf import build_binary
 from ..machine.timing import CostModel
 from ..machine.weakmem import BufferMode
 from .kernels import TID_BASE
-from .runner import NATIVE, WorkloadResult
+from .runner import WorkloadResult
 
 #: Each CAS variable sits on its own cache line.
 CAS_VAR_BASE = 0x0500_0000
@@ -168,7 +167,8 @@ def run_cas_benchmark(config: CasConfig, variant: str,
     """Run one Figure 15 configuration; throughput is
     ``config.total_ops / result.elapsed_cycles``."""
     started = time.perf_counter()
-    if variant == NATIVE:
+    dbt_config = resolve_variant(variant)
+    if dbt_config is None:
         engine = NativeRunner(n_cores=config.threads, seed=seed,
                               costs=costs, buffer_mode=buffer_mode)
         assembly = assemble_arm(_arm_cas_program(config),
@@ -176,10 +176,6 @@ def run_cas_benchmark(config: CasConfig, variant: str,
         engine.load_image(assembly.base, assembly.code)
         entry = assembly.labels["main"]
     else:
-        try:
-            dbt_config = VARIANTS[variant]
-        except KeyError:
-            raise ReproError(f"unknown variant {variant!r}") from None
         engine = DBTEngine(dbt_config, n_cores=config.threads,
                            seed=seed, costs=costs,
                            buffer_mode=buffer_mode)

@@ -31,7 +31,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..core.enumerate import behavior_cache_stats, enumeration_stats
 from ..errors import ReproError
@@ -138,6 +138,15 @@ class RunRow:
     enum_executions: int = 0
     enum_rf_pruned: int = 0
     enum_rf_rejected: int = 0
+    #: translation-cache counters (machine workloads; zero for litmus
+    #: ablations).  ``xlat_misses`` counts actual frontend+optimizer+
+    #: backend pipeline runs — a fully warm run reports 0 — while
+    #: ``blocks_translated`` above counts installs, identical warm or
+    #: cold.  These depend on cache warmth, not on the spec: compare
+    #: rows via :func:`deterministic_row`.
+    xlat_hits: int = 0
+    xlat_misses: int = 0
+    xlat_disk_hits: int = 0
     #: fence cycles split by provenance tag (mapping rule / optimizer
     #: decision); values sum exactly to ``fence_cycles``.
     fence_origin_cycles: dict = field(default_factory=dict)
@@ -203,7 +212,23 @@ def _row_from_workload(spec: RunSpec, outcome: WorkloadResult,
         fence_origin_cycles=dict(
             getattr(result, "fence_cycles_by_origin", {}) or {}),
         hot_blocks=_hot_blocks(result),
+        xlat_hits=getattr(result.stats, "xlat_hits", 0),
+        xlat_misses=getattr(result.stats, "xlat_misses", 0),
+        xlat_disk_hits=getattr(result.stats, "xlat_disk_hits", 0),
     )
+
+
+def deterministic_row(row: RunRow) -> RunRow:
+    """A copy of ``row`` with the warmth- and host-dependent fields
+    zeroed (wall time, translation-cache hit/miss split).
+
+    Everything else in a row is fully determined by its spec, so two
+    normalized rows from the same spec compare equal whatever the
+    worker layout, cache temperature or host speed — the form the
+    determinism tests and the CI warm-vs-cold leg compare.
+    """
+    return replace(row, wall_seconds=0.0, xlat_hits=0,
+                   xlat_misses=0, xlat_disk_hits=0)
 
 
 def _run_metrics(spec: RunSpec, row: RunRow) -> dict:

@@ -12,7 +12,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from ..dbt import DBTEngine, NativeRunner, RunResult, VARIANTS
+from ..dbt import DBTEngine, NATIVE, NativeRunner, RunResult, \
+    VARIANT_NAMES, VARIANTS, resolve_variant
 from ..errors import ReproError
 from ..isa.arm.assembler import assemble as assemble_arm
 from ..loader.gelf import GuestBinary, build_binary
@@ -22,8 +23,8 @@ from ..machine.timing import CostModel
 from ..machine.weakmem import BufferMode
 from .kernels import KernelSpec, gen_arm_program, gen_x86_program
 
-NATIVE = "native"
-ALL_VARIANTS: tuple[str, ...] = tuple(VARIANTS) + (NATIVE,)
+# Compatibility alias for the registry now owned by repro.dbt.config.
+ALL_VARIANTS: tuple[str, ...] = VARIANT_NAMES
 
 
 @dataclass
@@ -43,16 +44,11 @@ class WorkloadResult:
 def _make_engine(variant: str, n_cores: int, seed: int,
                  costs: CostModel | None,
                  buffer_mode: BufferMode = BufferMode.WEAK):
-    if variant == NATIVE:
+    config = resolve_variant(variant)
+    if config is None:
         engine = NativeRunner(n_cores=n_cores, seed=seed, costs=costs,
                               buffer_mode=buffer_mode)
     else:
-        try:
-            config = VARIANTS[variant]
-        except KeyError:
-            raise ReproError(
-                f"unknown variant {variant!r}; expected one of "
-                f"{ALL_VARIANTS}") from None
         engine = DBTEngine(config, n_cores=n_cores, seed=seed,
                            costs=costs, buffer_mode=buffer_mode)
     # Parity guard for grid sweeps: every variant of a benchmark,

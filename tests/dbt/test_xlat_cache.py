@@ -1,0 +1,229 @@
+"""Tests for the persistent translation cache.
+
+The contract under test: a cache hit must be indistinguishable from a
+fresh translation (bit-identical RunResult), invalidation must be
+keyed on content (guest bytes, config, code/schema revision), and a
+damaged disk entry degrades to a translate-and-rewrite, never an
+error.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import deterministic_row, kernel_grid, run_kernel, \
+    run_parallel
+from repro.dbt import xlat_cache
+from repro.dbt.config import QEMU, RISOTTO, TCG_VER
+from repro.dbt.xlat_cache import (
+    XlatCache,
+    block_key,
+    config_fingerprint,
+)
+from repro.tcg.backend_arm import CompiledBlock, HelperRequest
+from repro.tcg.optimizer import OptStats
+from repro.workloads.kernels import KernelSpec
+
+TINY = KernelSpec("tiny", loads=2, stores=1, alu=2, fp=1,
+                  iterations=40, threads=2, working_set=64)
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    """An isolated enabled cache rooted in the test's tmp dir."""
+    monkeypatch.setenv("REPRO_XLAT_CACHE", str(tmp_path / "xlat"))
+    monkeypatch.delenv("REPRO_XLAT_CACHE_BUDGET", raising=False)
+    monkeypatch.delenv("REPRO_XLAT_CACHE_MEM", raising=False)
+    xlat_cache.reset_stats()
+    yield tmp_path / "xlat"
+    xlat_cache.reset_memory()
+
+
+def _entry() -> tuple[CompiledBlock, OptStats]:
+    compiled = CompiledBlock(
+        guest_pc=0x400000,
+        asm="block_400000:\n    dmbld\n    ret\n",
+        helper_requests=[HelperRequest(
+            trap_label="__helper_write_int_1", helper="write_int",
+            arg_regs=("x13",), ret_reg=None)],
+        guest_insns=3,
+        op_count=7,
+        fence_origins=["RMOV->ld;Frm"],
+    )
+    return compiled, OptStats(folded=2, dead_removed=1)
+
+
+class TestKeying:
+    def test_key_covers_guest_bytes(self):
+        fp = config_fingerprint(RISOTTO)
+        same = block_key(fp, 0x400000, b"\x90" * 64)
+        assert same == block_key(fp, 0x400000, b"\x90" * 64)
+        assert same != block_key(fp, 0x400000, b"\x90" * 63 + b"\x91")
+        assert same != block_key(fp, 0x400008, b"\x90" * 64)
+
+    def test_config_drift_invalidates(self):
+        # Different fence/CAS policies translate differently.
+        fps = {config_fingerprint(c) for c in (QEMU, TCG_VER, RISOTTO)}
+        assert len(fps) == 3
+
+    def test_name_and_linker_do_not_invalidate(self):
+        # Neither changes a single translated block, so identically
+        # configured variants share entries.
+        twin = RISOTTO.with_overrides(name="other",
+                                      use_host_linker=False)
+        assert config_fingerprint(twin) == config_fingerprint(RISOTTO)
+
+    def test_schema_drift_invalidates(self, monkeypatch):
+        before = config_fingerprint(RISOTTO)
+        monkeypatch.setattr(xlat_cache, "SCHEMA", "repro-xlat/999")
+        assert config_fingerprint(RISOTTO) != before
+
+
+class TestDiskLayer:
+    def test_round_trip(self, tmp_path):
+        cache = XlatCache(tmp_path)
+        compiled, opt = _entry()
+        cache.put("ab" * 32, compiled, opt)
+        cache.clear_memory()  # force the disk path
+        hit = cache.get("ab" * 32)
+        assert hit is not None and hit.source == "disk"
+        assert hit.compiled == compiled
+        assert hit.opt_stats == opt
+
+    def test_entries_are_sharded_by_prefix(self, tmp_path):
+        cache = XlatCache(tmp_path)
+        compiled, opt = _entry()
+        cache.put("ab" * 32, compiled, opt)
+        cache.put("cd" * 32, compiled, opt)
+        assert (tmp_path / "ab" / ("ab" * 32 + ".json")).is_file()
+        assert (tmp_path / "cd" / ("cd" * 32 + ".json")).is_file()
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = XlatCache(tmp_path)
+        compiled, opt = _entry()
+        cache.put("ab" * 32, compiled, opt)
+        path = tmp_path / "ab" / ("ab" * 32 + ".json")
+        path.write_text("{ not json")
+        cache.clear_memory()
+        before = xlat_cache.cache_stats().corrupt_entries
+        assert cache.get("ab" * 32) is None
+        assert xlat_cache.cache_stats().corrupt_entries == before + 1
+        # The following store rewrites the damaged entry in place.
+        cache.put("ab" * 32, compiled, opt)
+        cache.clear_memory()
+        assert cache.get("ab" * 32) is not None
+
+    def test_stale_schema_entry_reads_as_miss(self, tmp_path,
+                                              monkeypatch):
+        cache = XlatCache(tmp_path)
+        compiled, opt = _entry()
+        cache.put("ab" * 32, compiled, opt)
+        cache.clear_memory()
+        monkeypatch.setattr(xlat_cache, "SCHEMA", "repro-xlat/999")
+        assert cache.get("ab" * 32) is None
+
+    def test_clear_disk_removes_entries_and_tmp_files(self, tmp_path):
+        cache = XlatCache(tmp_path)
+        compiled, opt = _entry()
+        cache.put("ab" * 32, compiled, opt)
+        (tmp_path / "ab" / "orphan.tmp").write_text("x")
+        assert cache.clear_disk() == 2
+        assert cache.disk_usage() == (0, 0)
+
+
+class TestEviction:
+    def test_disk_budget_is_enforced(self, tmp_path):
+        compiled, opt = _entry()
+        entry_size = len(
+            xlat_cache._entry_to_json(compiled, opt).encode())
+        cache = XlatCache(tmp_path, max_disk_bytes=entry_size * 3)
+        keys = [f"{i:02x}" * 32 for i in range(8)]
+        for key in keys:
+            cache.put(key, compiled, opt)
+        count, total = cache.disk_usage()
+        assert total <= entry_size * 3
+        assert count == 3
+
+    def test_just_written_entry_survives_tiny_budget(self, tmp_path):
+        compiled, opt = _entry()
+        cache = XlatCache(tmp_path, max_disk_bytes=1)
+        cache.put("ab" * 32, compiled, opt)
+        cache.clear_memory()
+        assert cache.get("ab" * 32) is not None
+
+    def test_memory_lru_is_bounded(self, tmp_path):
+        compiled, opt = _entry()
+        cache = XlatCache(tmp_path, max_mem_entries=2)
+        keys = [f"{i:02x}" * 32 for i in range(4)]
+        for key in keys:
+            cache.put(key, compiled, opt)
+        assert len(cache._mem) == 2
+        # Oldest keys fell out of memory but still hit on disk.
+        hit = cache.get(keys[0])
+        assert hit is not None and hit.source == "disk"
+
+
+class TestEngineIntegration:
+    def _run(self, variant="risotto"):
+        return run_kernel(TINY, variant=variant)
+
+    def test_warm_run_is_bit_identical(self, cache_env):
+        cold = self._run()
+        assert cold.result.stats.xlat_misses > 0
+        assert cold.result.stats.xlat_hits == 0
+        xlat_cache.reset_memory()  # prove the *disk* layer alone
+        warm = self._run()
+        assert warm.result.stats.xlat_misses == 0
+        assert warm.result.stats.xlat_hits == \
+            cold.result.stats.xlat_misses
+        assert warm.result.stats.xlat_disk_hits == \
+            warm.result.stats.xlat_hits
+        assert warm.checksum == cold.checksum
+        assert warm.result.elapsed_cycles == cold.result.elapsed_cycles
+        assert warm.result.total_cycles == cold.result.total_cycles
+        assert warm.result.fence_cycles == cold.result.fence_cycles
+        assert warm.result.opt_stats == cold.result.opt_stats
+        assert warm.result.fence_cycles_by_origin == \
+            cold.result.fence_cycles_by_origin
+        assert warm.result.block_profile == cold.result.block_profile
+
+    def test_variants_do_not_share_entries(self, cache_env):
+        qemu = self._run("qemu")
+        risotto = self._run("risotto")
+        # Different fence policies translate differently — the second
+        # variant must not have been served the first one's blocks.
+        assert risotto.result.stats.xlat_hits == 0
+        assert qemu.result.stats.xlat_hits == 0
+
+    def test_disabled_cache_still_counts_misses(self, monkeypatch):
+        monkeypatch.setenv("REPRO_XLAT_CACHE", "off")
+        assert xlat_cache.get_cache() is None
+        outcome = self._run()
+        assert outcome.result.stats.xlat_misses == \
+            outcome.result.stats.blocks_translated
+        assert outcome.result.stats.xlat_hits == 0
+
+    def test_guest_byte_drift_invalidates(self, cache_env):
+        cold = self._run()
+        xlat_cache.reset_memory()
+        # A different kernel emits different guest code at the same
+        # addresses: nothing from the first run may be served.
+        other = dataclasses.replace(TINY, name="other", alu=5)
+        fresh = run_kernel(other, variant="risotto")
+        assert fresh.result.stats.xlat_hits == 0
+        assert fresh.checksum != cold.checksum or \
+            fresh.result.elapsed_cycles != cold.result.elapsed_cycles
+
+
+class TestCrossWorkerSharing:
+    def test_pool_workers_share_the_disk_cache(self, cache_env):
+        grid = kernel_grid((TINY,), ("qemu", "risotto"))
+        cold = run_parallel(grid, workers=2)
+        assert sum(r.xlat_misses for r in cold) > 0
+        xlat_cache.reset_memory()
+        warm = run_parallel(grid, workers=2)
+        assert sum(r.xlat_misses for r in warm) == 0
+        assert sum(r.xlat_hits for r in warm) == \
+            sum(r.xlat_misses for r in cold)
+        for left, right in zip(cold, warm):
+            assert deterministic_row(left) == deterministic_row(right)

@@ -1,0 +1,116 @@
+"""End-to-end tests for the unified ``python -m repro`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dbt import xlat_cache
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_XLAT_CACHE", str(tmp_path / "xlat"))
+    monkeypatch.setenv("REPRO_BEHAVIOR_CACHE",
+                       str(tmp_path / "behaviors"))
+    xlat_cache.reset_stats()
+    yield tmp_path
+    xlat_cache.reset_memory()
+
+
+class TestParser:
+    def test_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in ("run", "fuzz", "obsreport", "cache"):
+            assert command in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "run" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_fig12_slice(self, cache_env, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        code = main([
+            "run", "fig12", "--benchmarks", "histogram",
+            "--variants", "qemu,risotto", "--iterations", "40",
+            "--workers", "1", "--bench-json", str(bench),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert "translation cache:" in out
+        payload = json.loads(bench.read_text())
+        assert payload["schema"] == "repro-bench/1"
+        assert payload["stats"]["xlat_misses"] > 0
+        assert {r["variant"] for r in payload["rows"]} == \
+            {"qemu", "risotto"}
+
+    def test_warm_rerun_reports_zero_misses(self, cache_env, tmp_path,
+                                            capsys):
+        argv = ["run", "fig12", "--benchmarks", "histogram",
+                "--variants", "risotto", "--iterations", "40",
+                "--workers", "1"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        xlat_cache.reset_memory()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert " 0 misses" in out
+
+    def test_unknown_benchmark_names_choices(self, cache_env):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="histogram"):
+            main(["run", "fig12", "--benchmarks", "nosuch",
+                  "--workers", "1"])
+
+    def test_unknown_variant_names_choices(self, cache_env):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="risotto"):
+            main(["run", "fig12", "--variants", "wasm",
+                  "--workers", "1"])
+
+
+class TestCache:
+    def test_stats_json_round_trips(self, cache_env, capsys):
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"xlat", "behavior"}
+        assert payload["xlat"]["enabled"] is True
+        assert payload["xlat"]["disk_entries"] == 0
+
+    def test_clear_removes_xlat_entries(self, cache_env, capsys):
+        main(["run", "fig12", "--benchmarks", "histogram",
+              "--variants", "risotto", "--iterations", "40",
+              "--workers", "1"])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        before = json.loads(capsys.readouterr().out)
+        assert before["xlat"]["disk_entries"] > 0
+        assert main(["cache", "clear", "--xlat"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        after = json.loads(capsys.readouterr().out)
+        assert after["xlat"]["disk_entries"] == 0
+
+
+class TestDelegation:
+    def test_obsreport_renders_bench_json(self, cache_env, tmp_path,
+                                          capsys):
+        bench = tmp_path / "bench.json"
+        main(["run", "fig12", "--benchmarks", "histogram",
+              "--variants", "qemu,risotto", "--iterations", "40",
+              "--workers", "1", "--bench-json", str(bench)])
+        capsys.readouterr()
+        assert main(["obsreport", str(bench)]) == 0
+        assert "fig12" in capsys.readouterr().out
+
+    def test_fuzz_smoke(self, cache_env, capsys):
+        code = main(["fuzz", "--seed", "5", "--cases", "2",
+                     "--oracles", "staged-vs-naive"])
+        assert code == 0
+        assert "cases" in capsys.readouterr().out.lower()
