@@ -1,0 +1,133 @@
+"""Tiered JIT — Figure 12 kernels with tier-2 superblock traces.
+
+Runs the fig12 kernel grid over the DBT variants twice — tier-2 forced
+off and tier-2 at the default promotion threshold — and checks the
+tier's contract:
+
+* guest-visible results are bit-identical per cell (checksum, output,
+  exit code): traces only change *when* work happens, never *what*;
+* every DBT cell promotes at least one trace at 400 iterations;
+* FP-helper inlining collapses the helper-call count on fp-heavy
+  benchmarks;
+* at least one (benchmark, variant) cell gains >= 10% in cycles.
+
+The export lands in results/bench_tiered_jit.json with per-cell cycle
+reductions alongside the tiered sweep's counter aggregate.
+"""
+
+import pytest
+
+from repro.analysis import BenchTable, run_stats_footer
+from repro.api import ALL_SPECS, SPEC_BY_NAME, kernel_grid, \
+    run_parallel
+
+#: Tier-2 only exists under DBT; native rows would be identical noise.
+DBT_VARIANTS = ("qemu", "tcg-ver", "risotto")
+ITERATIONS = 400
+#: The default promotion threshold, pinned so a config change shows up
+#: here as a deliberate diff.
+THRESHOLD = 128
+
+
+@pytest.fixture(scope="module")
+def baseline_sweep():
+    specs = kernel_grid(ALL_SPECS, DBT_VARIANTS,
+                        iterations=ITERATIONS, tier2_threshold=0)
+    return run_parallel(specs)
+
+
+@pytest.fixture(scope="module")
+def tiered_sweep():
+    specs = kernel_grid(ALL_SPECS, DBT_VARIANTS,
+                        iterations=ITERATIONS,
+                        tier2_threshold=THRESHOLD)
+    return run_parallel(specs)
+
+
+def _by_cell(sweep):
+    return {(row.benchmark, row.variant): row for row in sweep}
+
+
+def test_tiered_jit(benchmark, baseline_sweep, tiered_sweep,
+                    emit_report, emit_bench):
+    base = _by_cell(baseline_sweep)
+    tier = benchmark.pedantic(lambda: _by_cell(tiered_sweep),
+                              rounds=1, iterations=1)
+    assert base.keys() == tier.keys()
+
+    # --- correctness: guest-visible rows are bit-identical ----------
+    for cell, off in base.items():
+        on = tier[cell]
+        assert on.checksum == off.checksum, cell
+        assert on.exit_code == off.exit_code, cell
+
+    # --- every cell promotes and runs traces ------------------------
+    for cell, on in tier.items():
+        assert on.tier2_traces >= 1, cell
+        assert on.tier2_trace_dispatches >= 1, cell
+        assert on.tier2_cycles > 0, cell
+    for cell, off in base.items():
+        assert off.tier2_traces == 0, cell
+
+    # --- fp-helper inlining collapses the helper-call count ---------
+    for cell, off in base.items():
+        if SPEC_BY_NAME[cell[0]].fp > 0:
+            assert tier[cell].helper_calls < off.helper_calls, cell
+            assert tier[cell].opt_helpers_inlined >= 1, cell
+
+    # --- cycles: never meaningfully slower, >= 10% best gain --------
+    reductions = {
+        cell: 1.0 - tier[cell].cycles / base[cell].cycles
+        for cell in base
+    }
+    for cell, gained in reductions.items():
+        assert gained > -0.01, (cell, gained)
+    best_cell = max(reductions, key=reductions.get)
+    assert reductions[best_cell] >= 0.10, \
+        f"best tier-2 gain {reductions[best_cell]:.3f} at {best_cell}"
+
+    # --- report + export --------------------------------------------
+    lines = [
+        "tiered JIT: fig12 kernels, tier-2 off vs threshold "
+        f"{THRESHOLD} ({ITERATIONS} iterations)",
+        f"{'benchmark':18s}" + "".join(
+            f"{v:>12s}" for v in DBT_VARIANTS),
+    ]
+    for spec in ALL_SPECS:
+        cells = "".join(
+            f"{reductions[(spec.name, v)]:>11.1%} "
+            for v in DBT_VARIANTS)
+        lines.append(f"{spec.name:18s}{cells}")
+    lines.append(
+        f"best gain: {reductions[best_cell]:.1%} at {best_cell}")
+    report = "\n".join(lines) + "\n" + \
+        run_stats_footer(tiered_sweep, "tiered harness stats")
+    emit_report("tiered_jit", report)
+
+    table = BenchTable.from_rows("tiered_jit", tiered_sweep)
+    emit_bench(
+        "tiered_jit", table=table, sweep=tiered_sweep,
+        extra={
+            "threshold": THRESHOLD,
+            "iterations": ITERATIONS,
+            "variants": list(DBT_VARIANTS),
+            "cycle_reduction": {
+                f"{bench}/{variant}": round(value, 6)
+                for (bench, variant), value
+                in sorted(reductions.items())
+            },
+            "baseline_cycles": {
+                f"{bench}/{variant}": row.cycles
+                for (bench, variant), row in sorted(base.items())
+            },
+            "best": {
+                "benchmark": best_cell[0],
+                "variant": best_cell[1],
+                "reduction": round(reductions[best_cell], 6),
+            },
+        })
+
+    benchmark.extra_info["best_reduction"] = \
+        round(reductions[best_cell], 4)
+    benchmark.extra_info["cells_promoted"] = sum(
+        1 for row in tier.values() if row.tier2_traces)

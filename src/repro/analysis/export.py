@@ -53,6 +53,12 @@ def _sweep_stats(sweep) -> dict:
         "opt_mem_eliminated": stats.opt_mem_eliminated,
         "opt_fences_merged": stats.opt_fences_merged,
         "opt_dead_removed": stats.opt_dead_removed,
+        "opt_empty_fences_dropped": stats.opt_empty_fences_dropped,
+        "opt_helpers_inlined": stats.opt_helpers_inlined,
+        "tier2_traces": stats.tier2_traces,
+        "tier2_trace_blocks": stats.tier2_trace_blocks,
+        "tier2_trace_dispatches": stats.tier2_trace_dispatches,
+        "tier2_cycles": stats.tier2_cycles,
         "fence_cycles": stats.fence_cycles,
         "total_cycles": stats.total_cycles,
         "fence_cycles_by_origin": dict(

@@ -70,6 +70,17 @@ def run_stats_footer(sweep, title: str = "harness stats") -> str:
             f"{stats.opt_mem_eliminated} mem-eliminated, "
             f"{stats.opt_fences_merged} fences merged, "
             f"{stats.opt_dead_removed} dead ops removed")
+        if stats.opt_empty_fences_dropped or stats.opt_helpers_inlined:
+            lines.append(
+                f"           {stats.opt_empty_fences_dropped} empty "
+                f"fences dropped, {stats.opt_helpers_inlined} helpers "
+                f"inlined")
+    if stats.tier2_traces or stats.tier2_trace_dispatches:
+        lines.append(
+            f"tier-2: {stats.tier2_traces} traces / "
+            f"{stats.tier2_trace_blocks} blocks   "
+            f"trace dispatches: {stats.tier2_trace_dispatches}   "
+            f"cycles in traces: {stats.tier2_cycles}")
     if stats.total_cycles:
         lines.append(
             f"fence cycles: {_fmt_pct(stats.fence_share).strip()} "

@@ -189,6 +189,13 @@ class SweepStats:
     opt_mem_eliminated: int = 0
     opt_fences_merged: int = 0
     opt_dead_removed: int = 0
+    opt_empty_fences_dropped: int = 0
+    opt_helpers_inlined: int = 0
+    #: tier-2 (superblock) counters summed over the sweep's rows.
+    tier2_traces: int = 0
+    tier2_trace_blocks: int = 0
+    tier2_trace_dispatches: int = 0
+    tier2_cycles: int = 0
     fence_cycles: int = 0
     total_cycles: int = 0
     cache_hits: int = 0
@@ -282,6 +289,16 @@ def aggregate_sweep(sweep) -> SweepStats:
         stats.xlat_hits += getattr(row, "xlat_hits", 0)
         stats.xlat_misses += getattr(row, "xlat_misses", 0)
         stats.xlat_disk_hits += getattr(row, "xlat_disk_hits", 0)
+        stats.opt_empty_fences_dropped += getattr(
+            row, "opt_empty_fences_dropped", 0)
+        stats.opt_helpers_inlined += getattr(
+            row, "opt_helpers_inlined", 0)
+        stats.tier2_traces += getattr(row, "tier2_traces", 0)
+        stats.tier2_trace_blocks += getattr(
+            row, "tier2_trace_blocks", 0)
+        stats.tier2_trace_dispatches += getattr(
+            row, "tier2_trace_dispatches", 0)
+        stats.tier2_cycles += getattr(row, "tier2_cycles", 0)
         by_origin = getattr(row, "fence_origin_cycles", None) or {}
         for origin, cycles in by_origin.items():
             stats.fence_cycles_by_origin[origin] = \

@@ -39,6 +39,8 @@ from .core.behavior_cache import (
 from .core.enumerate import behavior_cache_stats
 from .dbt import DBTConfig, DBTEngine, NATIVE, NativeRunner, \
     RunResult, VARIANT_NAMES, VARIANTS, resolve_variant
+from .dbt.config import DEFAULT_TIER2_THRESHOLD, Tier2Config, \
+    tier2_from_env
 from .dbt.xlat_cache import (
     cache_dir as xlat_cache_dir,
     cache_stats as xlat_cache_stats,
@@ -102,6 +104,8 @@ __all__ = [
     "VARIANTS", "VARIANT_NAMES", "NATIVE", "resolve_variant",
     "DBTConfig", "DBTEngine", "NativeRunner",
     "BufferMode", "CostModel", "ReproError",
+    # tiered JIT (superblock) knobs
+    "Tier2Config", "tier2_from_env", "DEFAULT_TIER2_THRESHOLD",
     # cache controls
     "xlat_cache_stats", "xlat_cache_dir", "xlat_cache_enabled",
     "clear_xlat_cache", "reset_xlat_memory", "get_xlat_cache",
@@ -112,27 +116,32 @@ __all__ = [
 
 def make_engine(*, variant: str, n_cores: int = 1, seed: int = 42,
                 costs: CostModel | None = None,
-                buffer_mode: BufferMode = BufferMode.WEAK):
+                buffer_mode: BufferMode = BufferMode.WEAK,
+                tier2_threshold: int | None = None):
     """Build the engine for ``variant`` on a fresh machine.
 
     Returns a :class:`~repro.dbt.engine.DBTEngine` for the DBT
     variants and a :class:`~repro.dbt.engine.NativeRunner` for
     ``"native"``; raises :class:`~repro.errors.ReproError` naming the
-    valid variants on anything else.
+    valid variants on anything else.  ``tier2_threshold`` selects the
+    superblock tier: ``None`` defers to ``REPRO_TIER2_THRESHOLD``,
+    ``0`` forces it off, a positive count promotes at that hotness.
     """
     return _runner._make_engine(variant, n_cores, seed, costs,
-                                buffer_mode)
+                                buffer_mode, tier2_threshold)
 
 
 def run_kernel(spec: KernelSpec, *, variant: str, seed: int = 7,
                costs: CostModel | None = None,
                max_steps: int = 80_000_000,
                buffer_mode: BufferMode = BufferMode.WEAK,
+               tier2_threshold: int | None = None,
                ) -> WorkloadResult:
     """Run one PARSEC/Phoenix kernel under a variant (or natively)."""
     return _runner.run_kernel(spec, variant, seed=seed, costs=costs,
                               max_steps=max_steps,
-                              buffer_mode=buffer_mode)
+                              buffer_mode=buffer_mode,
+                              tier2_threshold=tier2_threshold)
 
 
 def run_library_workload(function: str, args: tuple[int, ...],
@@ -141,12 +150,14 @@ def run_library_workload(function: str, args: tuple[int, ...],
                          costs: CostModel | None = None,
                          max_steps: int = 80_000_000,
                          buffer_mode: BufferMode = BufferMode.WEAK,
+                         tier2_threshold: int | None = None,
                          ) -> WorkloadResult:
     """Benchmark a shared-library function under a variant."""
     return _runner.run_library_workload(
         function, args, calls, variant, library,
         setup_memory=setup_memory, seed=seed, costs=costs,
-        max_steps=max_steps, buffer_mode=buffer_mode)
+        max_steps=max_steps, buffer_mode=buffer_mode,
+        tier2_threshold=tier2_threshold)
 
 
 def run_cas_benchmark(config: CasConfig, *, variant: str,

@@ -54,6 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="kernel iteration count override (fig12)")
     run.add_argument("--seed", type=int, default=7,
                      help="run seed (default 7)")
+    run.add_argument("--tier2-threshold", type=int, default=None,
+                     metavar="N",
+                     help="promote blocks dispatched N times to "
+                          "tier-2 superblock traces (fig12; default: "
+                          "off, or REPRO_TIER2_THRESHOLD; 0 forces "
+                          "off)")
     run.add_argument("--workers", type=int, default=None,
                      help="process-pool size (default: REPRO_WORKERS "
                           "or the cpu count)")
@@ -119,7 +125,8 @@ def _run_specs(args):
             specs = tuple(api.SPEC_BY_NAME[name] for name in wanted)
         return api.kernel_grid(specs, variants,
                                iterations=args.iterations,
-                               seed=args.seed)
+                               seed=args.seed,
+                               tier2_threshold=args.tier2_threshold)
     if args.figure == "fig15":
         return api.cas_grid(api.FIGURE15_CONFIGS, variants,
                             seed=args.seed)

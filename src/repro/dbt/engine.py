@@ -23,8 +23,9 @@ from ..machine.weakmem import BufferMode
 from ..obs.trace import get_tracer
 from ..tcg.backend_arm import ArmBackend, CompiledBlock
 from ..tcg.frontend_x86 import X86Frontend
-from ..tcg.optimizer import OptStats, optimize
-from .config import DBTConfig, RISOTTO
+from ..tcg.optimizer import OptStats, inline_helpers_pass, optimize
+from ..tcg.superblock import stitch_trace
+from .config import DBTConfig, RISOTTO, Tier2Config, tier2_from_env
 from .runtime import Runtime, RunStats, THREAD_EXIT_PC
 from .xlat_cache import DECODE_WINDOW, XlatCache, config_fingerprint, \
     get_cache
@@ -32,6 +33,10 @@ from .xlat_cache import DECODE_WINDOW, XlatCache, config_fingerprint, \
 #: Sentinel distinguishing "use the environment's cache" from an
 #: explicit ``xlat_cache=None`` (cache off for this engine).
 _ENV_CACHE = object()
+
+#: Sentinel distinguishing "use the environment's tier-2 setting"
+#: (REPRO_TIER2_THRESHOLD) from an explicit ``tier2=None`` (off).
+_ENV_TIER2 = object()
 
 
 @dataclass
@@ -73,13 +78,19 @@ class DBTEngine:
                  costs: CostModel | None = None,
                  seed: int = 42,
                  buffer_mode: BufferMode = BufferMode.WEAK,
-                 xlat_cache: XlatCache | None | object = _ENV_CACHE):
+                 xlat_cache: XlatCache | None | object = _ENV_CACHE,
+                 tier2: Tier2Config | None | object = _ENV_TIER2):
         self.config = config
         self.machine = machine or Machine(
             n_cores=n_cores, costs=costs or DEFAULT_COSTS, seed=seed,
             buffer_mode=buffer_mode)
         self.runtime = Runtime(self.machine)
         self.runtime.translator = self._translate
+        self.tier2: Tier2Config | None = \
+            tier2_from_env() if tier2 is _ENV_TIER2 else tier2
+        if self.tier2 is not None:
+            self.runtime.tier2 = self.tier2
+            self.runtime.trace_translator = self._translate_trace
         self.frontend = X86Frontend(config.frontend)
         self.backend = ArmBackend()
         self.opt_stats = OptStats()
@@ -167,6 +178,70 @@ class DBTEngine:
         with tracer.span("dbt.backend", cat="dbt", pc=guest_pc):
             compiled = self.backend.compile_block(block)
         self.runtime.stats.xlat_misses += 1
+        if key is not None:
+            cache.put(key, compiled, stats)
+        return compiled, stats
+
+    def _translate_trace(self, chain: list[int]) -> int | None:
+        """Tier-2 entry: compile a superblock over ``chain``.
+
+        Returns the trace's host pc, or ``None`` when the chain is not
+        worth a trace (nothing inlined, no seam removed) or cannot be
+        compiled (e.g. cross-seam optimization extends a temp's live
+        range past the host temp pool) — the runtime then blacklists
+        the head and keeps running tier-1 blocks.
+        """
+        tracer = get_tracer()
+        with tracer.span("dbt.translate_trace", cat="dbt",
+                         pc=chain[0], blocks=len(chain)):
+            try:
+                compiled, stats = self._compile_trace(chain, tracer)
+            except TranslationError:
+                return None
+            if compiled is None:
+                return None
+            self.opt_stats.merge(stats)
+            with tracer.span("dbt.install", cat="dbt", pc=chain[0]):
+                return self._install(compiled)
+
+    def _compile_trace(self, chain: list[int], tracer):
+        """(CompiledBlock, OptStats) for a superblock, or (None, None).
+
+        Cached under the trace schema tag, keyed by the ordered chain
+        windows — never colliding with the head's tier-1 block entry.
+        The RunStats xlat counters track tier-1 blocks only (their
+        hits+misses == blocks_translated invariant stays intact);
+        trace cache traffic shows up in the process-wide cache stats.
+        """
+        cache = self.xlat_cache
+        key = None
+        if cache is not None:
+            key = cache.trace_key_for(self.machine.memory, chain,
+                                      self._config_fp,
+                                      self._key_window)
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    if tracer.enabled:
+                        tracer.instant("dbt.xlat_trace_hit", cat="dbt",
+                                       pc=chain[0], source=hit.source)
+                    return hit.compiled, hit.opt_stats
+        blocks = [
+            self.frontend.translate_block(self.machine.memory, pc)
+            for pc in chain
+        ]
+        stitched = stitch_trace(blocks)
+        trace = stitched.block
+        inlined = 0
+        if self.tier2.inline_helpers:
+            inlined = inline_helpers_pass(trace)
+        if len(chain) == 1 and stitched.internal_branches == 0 \
+                and inlined == 0:
+            # The trace would be byte-identical to the tier-1 block.
+            return None, None
+        stats = optimize(trace, self.config.optimizer)
+        stats.helpers_inlined = inlined
+        compiled = self.backend.compile_block(trace)
         if key is not None:
             cache.put(key, compiled, stats)
         return compiled, stats

@@ -102,6 +102,15 @@ class RunStats:
     xlat_hits: int = 0
     xlat_misses: int = 0
     xlat_disk_hits: int = 0
+    #: Tier-2 (superblock) accounting.  ``tier2_traces`` counts
+    #: installed traces, ``tier2_trace_blocks`` the tier-1 blocks they
+    #: cover, ``tier2_trace_dispatches`` dispatcher entries that landed
+    #: on a trace, and ``tier2_cycles`` the cycles attributed to code
+    #: executing inside traces (a subset of the profile totals).
+    tier2_traces: int = 0
+    tier2_trace_blocks: int = 0
+    tier2_trace_dispatches: int = 0
+    tier2_cycles: int = 0
     output: list[int] = field(default_factory=list)
 
 
@@ -123,11 +132,25 @@ class Runtime:
         #: block entry, so host-lib time between dispatches stays
         #: unattributed rather than inflating the calling block.
         self.block_profile: dict[int, list[int]] = {}
-        #: core id -> (guest pc, core cycles at entry) of the block
-        #: that core is currently executing.
-        self._profile_open: dict[int, tuple[int, int]] = {}
+        #: core id -> (guest pc, core cycles at entry, in-trace flag)
+        #: of the block/trace that core is currently executing.  The
+        #: entry cycles are captured *before* the dispatch-entry cost
+        #: (tb_entry/tb_chain) is charged, so that cost is attributed
+        #: to the entered block and per-pc cycles sum to the core
+        #: total (the conservation the tier promoter relies on).
+        self._profile_open: dict[int, tuple[int, int, bool]] = {}
         #: guest pcs whose direct (goto_tb) dispatch is already chained
         self._chained: set[int] = set()
+        #: Tier-2 state: promoted trace heads -> host pc of the trace.
+        self.trace_map: dict[int, int] = {}
+        #: goto_tb edge profile: pred guest pc -> {succ pc: count}.
+        self._succ_counts: dict[int, dict[int, int]] = {}
+        #: heads whose promotion failed (don't retry every dispatch).
+        self._tier2_rejected: set[int] = set()
+        #: set by the engine when tier-2 is enabled: a Tier2Config.
+        self.tier2 = None
+        #: set by the engine: translate_trace(chain) -> host pc | None.
+        self.trace_translator = None
         #: guest pc -> PLT thunk callable(core) (host linker entries)
         self.plt_thunks: dict[int, callable] = {}
         #: set by the engine: translate(guest_pc) -> host pc
@@ -278,12 +301,15 @@ class Runtime:
         return None
 
     def _finish_thread(self, core: ArmCore, exit_code: int) -> None:
-        self._profile_close(core)
         thread = self._thread_of(core)
         if thread:
             thread.finished = True
             thread.exit_code = exit_code
+        # Drain before closing the profile interval: the store-buffer
+        # drain at thread exit belongs to the final block, not to the
+        # unattributed gap after it.
         core.drain_buffer()
+        self._profile_close(core)
         core.halted = True
 
     def _thread_of(self, core: ArmCore) -> GuestThread | None:
@@ -359,8 +385,16 @@ class Runtime:
             self._profile_close(core)
             thunk(core)
             return
+        if direct and self.tier2 is not None:
+            # Record the goto_tb edge for superblock formation before
+            # the predecessor's interval closes.
+            open_entry = self._profile_open.get(core.core_id)
+            if open_entry is not None:
+                succs = self._succ_counts.setdefault(open_entry[0], {})
+                succs[guest_pc] = succs.get(guest_pc, 0) + 1
         self._profile_close(core)
         self.stats.block_dispatches += 1
+        entry_cycles = core.cycles
         host_pc = self.block_map.get(guest_pc)
         if host_pc is None:
             if self.translator is None:
@@ -379,8 +413,62 @@ class Runtime:
         if entry is None:
             entry = self.block_profile[guest_pc] = [0, 0]
         entry[0] += 1
-        self._profile_open[core.core_id] = (guest_pc, core.cycles)
+        in_trace = False
+        trace_pc = self.trace_map.get(guest_pc)
+        if trace_pc is None and self.tier2 is not None \
+                and self.trace_translator is not None \
+                and entry[0] >= self.tier2.threshold \
+                and guest_pc not in self._tier2_rejected:
+            trace_pc = self._promote(guest_pc)
+        if trace_pc is not None:
+            host_pc = trace_pc
+            in_trace = True
+            self.stats.tier2_trace_dispatches += 1
+        self._profile_open[core.core_id] = \
+            (guest_pc, entry_cycles, in_trace)
         core.pc = host_pc
+
+    # ------------------------------------------------------------------
+    # Tier-2 promotion
+    # ------------------------------------------------------------------
+    def _promote(self, guest_pc: int) -> int | None:
+        """Compile the hot chain headed at ``guest_pc`` into a trace;
+        returns its host pc, or ``None`` (head blacklisted) when the
+        chain is not worth a trace or fails to compile."""
+        chain = self._form_chain(guest_pc)
+        host_pc = self.trace_translator(chain)
+        if host_pc is None:
+            self._tier2_rejected.add(guest_pc)
+            return None
+        self.trace_map[guest_pc] = host_pc
+        self.stats.tier2_traces += 1
+        self.stats.tier2_trace_blocks += len(chain)
+        return host_pc
+
+    def _form_chain(self, head: int) -> list[int]:
+        """Follow the dominant recorded goto_tb successor across
+        consecutive hot blocks.  Stops at cold/unseen successors, at
+        non-dominant splits, on revisiting a chain member (the
+        stitcher turns such edges into in-trace back-branches), and at
+        PLT entries."""
+        chain = [head]
+        seen = {head}
+        threshold = self.tier2.threshold
+        while len(chain) < self.tier2.max_blocks:
+            succs = self._succ_counts.get(chain[-1])
+            if not succs:
+                break
+            nxt, count = max(succs.items(), key=lambda kv: kv[1])
+            total = sum(succs.values())
+            profile = self.block_profile.get(nxt)
+            if nxt in seen or nxt in self.plt_thunks \
+                    or nxt == THREAD_EXIT_PC \
+                    or count * 2 < total \
+                    or profile is None or profile[0] < threshold:
+                break
+            chain.append(nxt)
+            seen.add(nxt)
+        return chain
 
     # ------------------------------------------------------------------
     # Hot-block profile
@@ -388,15 +476,31 @@ class Runtime:
     def _profile_close(self, core: ArmCore) -> None:
         open_entry = self._profile_open.pop(core.core_id, None)
         if open_entry is not None:
-            guest_pc, entry_cycles = open_entry
-            self.block_profile[guest_pc][1] += \
-                core.cycles - entry_cycles
+            guest_pc, entry_cycles, in_trace = open_entry
+            delta = core.cycles - entry_cycles
+            self.block_profile[guest_pc][1] += delta
+            if in_trace:
+                self.stats.tier2_cycles += delta
 
     def block_profile_snapshot(self) -> dict[int, tuple[int, int]]:
         """The hot-block profile as ``{guest_pc: (dispatches,
-        cycles)}``, closing any still-open block intervals first."""
+        cycles)}``, including each core's still-open interval.
+
+        Non-destructive: an open interval is accounted up to the
+        core's current cycle count and re-opened in place, so a
+        mid-run snapshot (the tier promoter reads profiles mid-run)
+        never drops the cycles between the snapshot and the next
+        dispatch."""
         for core in self.machine.cores:
-            self._profile_close(core)
+            open_entry = self._profile_open.get(core.core_id)
+            if open_entry is not None:
+                guest_pc, entry_cycles, in_trace = open_entry
+                delta = core.cycles - entry_cycles
+                self.block_profile[guest_pc][1] += delta
+                if in_trace:
+                    self.stats.tier2_cycles += delta
+                self._profile_open[core.core_id] = \
+                    (guest_pc, core.cycles, in_trace)
         return {
             pc: (entry[0], entry[1])
             for pc, entry in self.block_profile.items()

@@ -73,7 +73,13 @@ from ..tcg.optimizer import OptStats
 
 #: Entry-layout version; part of the key, so a bump orphans (and a
 #: later budget sweep collects) every pre-bump entry.
-SCHEMA = "repro-xlat/1"
+#: /2: opt_stats grew empty_fences_dropped + helpers_inlined.
+SCHEMA = "repro-xlat/2"
+
+#: Distinct tag for tier-2 superblock artifacts: a trace keyed over
+#: the same head pc as a plain block must never collide with it, so
+#: trace keys hash this tag plus the ordered (pc, window) list.
+TRACE_SCHEMA = "repro-xlat-trace/2"
 
 ENV_VAR = "REPRO_XLAT_CACHE"
 ENV_BUDGET = "REPRO_XLAT_CACHE_BUDGET"
@@ -102,16 +108,16 @@ def _code_salt() -> str:
         import inspect
         import sys
 
-        from ..tcg import backend_arm, frontend_x86, ir
+        from ..tcg import backend_arm, frontend_x86, ir, superblock
         from ..tcg.optimizer import constprop, deadcode, fence_merge, \
-            memopt
+            inline_helpers, memopt
         from ..tcg import optimizer
 
         hasher = hashlib.sha256()
         this_module = sys.modules[__name__]
         for module in (ir, frontend_x86, optimizer, constprop, memopt,
-                       fence_merge, deadcode, backend_arm,
-                       this_module):
+                       fence_merge, deadcode, inline_helpers,
+                       superblock, backend_arm, this_module):
             try:
                 hasher.update(inspect.getsource(module).encode())
             except (OSError, TypeError):  # pragma: no cover - frozen
@@ -139,6 +145,20 @@ def block_key(config_fp: str, guest_pc: int, window: bytes) -> str:
     hasher.update(config_fp.encode())
     hasher.update(guest_pc.to_bytes(8, "little"))
     hasher.update(window)
+    return hasher.hexdigest()
+
+
+def trace_key(config_fp: str,
+              segments: list[tuple[int, bytes]]) -> str:
+    """Content fingerprint of a tier-2 superblock: the ordered chain
+    of (guest pc, decode window) pairs under the trace schema tag."""
+    hasher = hashlib.sha256()
+    hasher.update(TRACE_SCHEMA.encode())
+    hasher.update(config_fp.encode())
+    for guest_pc, window in segments:
+        hasher.update(guest_pc.to_bytes(8, "little"))
+        hasher.update(len(window).to_bytes(4, "little"))
+        hasher.update(window)
     return hasher.hexdigest()
 
 
@@ -244,7 +264,8 @@ def _entry_to_json(compiled: CompiledBlock, opt: OptStats) -> str:
         "op_count": compiled.op_count,
         "fence_origins": list(compiled.fence_origins),
         "opt_stats": [opt.folded, opt.mem_eliminated,
-                      opt.fences_merged, opt.dead_removed],
+                      opt.fences_merged, opt.dead_removed,
+                      opt.empty_fences_dropped, opt.helpers_inlined],
     }, separators=(",", ":"))
 
 
@@ -268,12 +289,14 @@ def _entry_from_json(text: str) -> tuple[CompiledBlock, OptStats]:
             for origin in payload["fence_origins"]
         ],
     )
-    folded, mem_eliminated, fences_merged, dead_removed = \
-        payload["opt_stats"]
+    folded, mem_eliminated, fences_merged, dead_removed, \
+        empty_fences_dropped, helpers_inlined = payload["opt_stats"]
     opt = OptStats(folded=int(folded),
                    mem_eliminated=int(mem_eliminated),
                    fences_merged=int(fences_merged),
-                   dead_removed=int(dead_removed))
+                   dead_removed=int(dead_removed),
+                   empty_fences_dropped=int(empty_fences_dropped),
+                   helpers_inlined=int(helpers_inlined))
     return compiled, opt
 
 
@@ -317,6 +340,20 @@ class XlatCache:
         except MachineError:
             return None
         return block_key(config_fp, guest_pc, window)
+
+    def trace_key_for(self, memory, guest_pcs: list[int],
+                      config_fp: str,
+                      window_bytes: int) -> str | None:
+        """The content fingerprint of a superblock chain, or ``None``
+        when any chain member's window is unmapped."""
+        segments: list[tuple[int, bytes]] = []
+        for guest_pc in guest_pcs:
+            try:
+                window = memory.read_bytes(guest_pc, window_bytes)
+            except MachineError:
+                return None
+            segments.append((guest_pc, window))
+        return trace_key(config_fp, segments)
 
     # ------------------------------------------------------------------
     # Lookup / store

@@ -219,6 +219,14 @@ class ArmBackend:
             else:
                 lines.append(f"    {arm_name} {dst}, {a}, {b}")
             return
+        if name in ("fadd", "fmul"):
+            # Pseudo scalar-double FP on general registers; constants
+            # (from cross-seam constprop) must be materialized.
+            a = reg_operand(op.args[1], index, SCRATCH0)
+            b = reg_operand(op.args[2], index, SCRATCH1)
+            dst = operand(op.args[0], index, defining=True)
+            lines.append(f"    {name} {dst}, {a}, {b}")
+            return
         if name == "neg":
             a = operand(op.args[1], index)
             dst = operand(op.args[0], index, defining=True)

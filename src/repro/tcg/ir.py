@@ -135,6 +135,10 @@ OP_SIGNATURES: dict[str, tuple[int, int]] = {
     "xor": (1, 2), "shl": (1, 2), "shr": (1, 2), "sar": (1, 2),
     "mul": (1, 2), "divu": (1, 2), "remu": (1, 2),
     "neg": (1, 1), "not": (1, 1),
+    # Scalar-double FP on general registers (tier-2 helper inlining;
+    # the machine executes these with the same float64 arithmetic as
+    # the softfloat helpers, so results are bit-identical).
+    "fadd": (1, 2), "fmul": (1, 2),
     "setcond": (1, 3),   # dst, a, b, cond
     "ld": (1, 2),        # dst, base, offset(Const)
     "st": (0, 3),        # src, base, offset(Const)

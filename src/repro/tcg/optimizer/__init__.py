@@ -24,6 +24,7 @@ from ..ir import TCGBlock
 from .constprop import constant_propagation
 from .deadcode import dead_code_elimination
 from .fence_merge import merge_fences_pass
+from .inline_helpers import inline_helpers_pass
 from .memopt import memory_access_elimination
 
 
@@ -43,12 +44,21 @@ class OptStats:
     mem_eliminated: int = 0
     fences_merged: int = 0
     dead_removed: int = 0
+    #: mask-0 ``mb`` ops dropped by fence merging — barriers that never
+    #: existed, reported separately so they cannot inflate
+    #: ``fences_merged`` (and the ablation deltas built on it).
+    empty_fences_dropped: int = 0
+    #: helper calls rewritten to first-class IR ops by the tier-2
+    #: inlining pass (RMW + FP; see optimizer.inline_helpers).
+    helpers_inlined: int = 0
 
     def merge(self, other: "OptStats") -> None:
         self.folded += other.folded
         self.mem_eliminated += other.mem_eliminated
         self.fences_merged += other.fences_merged
         self.dead_removed += other.dead_removed
+        self.empty_fences_dropped += other.empty_fences_dropped
+        self.helpers_inlined += other.helpers_inlined
 
 
 def optimize(block: TCGBlock,
@@ -67,7 +77,8 @@ def optimize(block: TCGBlock,
     if config.fence_merge:
         with tracer.span("opt.fence_merge", cat="opt",
                          pc=block.guest_pc):
-            stats.fences_merged = merge_fences_pass(block)
+            stats.fences_merged, stats.empty_fences_dropped = \
+                merge_fences_pass(block)
     if config.deadcode:
         with tracer.span("opt.deadcode", cat="opt",
                          pc=block.guest_pc):
@@ -83,4 +94,5 @@ __all__ = [
     "dead_code_elimination",
     "memory_access_elimination",
     "merge_fences_pass",
+    "inline_helpers_pass",
 ]

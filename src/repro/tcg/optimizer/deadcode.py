@@ -1,56 +1,79 @@
 """Dead code elimination: drop pure ops whose results are never used.
 
-Backward liveness over the straight-line *prefix* of the block (up to
-the first control-flow op — the jcc tail pattern brcond/goto_tb/
-set_label/goto_tb is left untouched, its inputs seeded as live).
-Guest globals are always live-out: they carry state to the next block.
-Ops with side effects (memory, barriers, calls) are always kept.
+Backward liveness per straight-line *segment* — the maximal runs of
+non-control ops between labels/branches.  Control can only enter a
+segment at its head (labels are control ops), so the straight-line
+argument is sound within a segment even when the block has backward
+branches, which tier-2 traces do (their loop edges are in-trace ``br``
+ops).  Each segment's live-out is seeded conservatively: every guest
+global (state flows to the next block) plus every value read *outside*
+the segment (a temp may reach any other segment through an arbitrary
+branch path).  In-segment liveness — including kill-cascades through
+chains of dead ops — stays precise.  Ops with side effects (memory,
+barriers, calls) are always kept.
 
 Flag materialization no conditional consumes before the next overwrite
 is the main beneficiary — a faithful stand-in for QEMU's lazy flag
-evaluation.
+evaluation.  A single-segment block (every tier-1 block: straight-line
+prefix plus a control tail) gets bit-identical results to the classic
+prefix-only formulation.
 """
 
 from __future__ import annotations
 
-from ..ir import ALL_GLOBALS, Op, TCGBlock, Temp
+from ..ir import ALL_GLOBALS, TCGBlock, Temp
 
 _CONTROL = frozenset({"set_label", "brcond", "br", "exit_tb",
                       "goto_tb"})
 
 
+def _segments(ops):
+    """Yield ``(start, stop)`` index ranges of the maximal control-free
+    runs of ``ops``."""
+    start = None
+    for index, op in enumerate(ops):
+        if op.name in _CONTROL:
+            if start is not None:
+                yield start, index
+                start = None
+        elif start is None:
+            start = index
+    if start is not None:
+        yield start, len(ops)
+
+
 def dead_code_elimination(block: TCGBlock) -> int:
     ops = block.ops
-    first_control = next(
-        (i for i, op in enumerate(ops) if op.name in _CONTROL),
-        len(ops))
-
-    # Live-out: every guest global (state flows to the next block) plus
-    # every input of the control tail.  A global overwritten later in
-    # the straight-line prefix without an intervening read is dead —
-    # which is exactly how stale flag materialization gets removed.
-    live: set[Temp] = set(ALL_GLOBALS)
-    for op in ops[first_control:]:
-        live.update(op.inputs())
-
     keep = [True] * len(ops)
-    for index in range(first_control - 1, -1, -1):
-        op = ops[index]
-        if op.has_side_effects():
-            for out in op.outputs():
+    reads = [op.inputs() for op in ops]
+
+    for start, stop in _segments(ops):
+        # Live-out: every guest global plus everything read outside
+        # this segment (reachable again through any label).  A global
+        # overwritten later in the same segment without an intervening
+        # read is dead — which is exactly how stale flag
+        # materialization gets removed.
+        live: set[Temp] = set(ALL_GLOBALS)
+        for index, ins in enumerate(reads):
+            if index < start or index >= stop:
+                live.update(ins)
+        for index in range(stop - 1, start - 1, -1):
+            op = ops[index]
+            if op.has_side_effects():
+                for out in op.outputs():
+                    live.discard(out)
+                live.update(reads[index])
+                if op.name == "call":
+                    # Helpers may read guest state implicitly (syscall).
+                    live.update(ALL_GLOBALS)
+                continue
+            outputs = op.outputs()
+            if not any(out in live for out in outputs):
+                keep[index] = False
+                continue
+            for out in outputs:
                 live.discard(out)
-            live.update(op.inputs())
-            if op.name == "call":
-                # Helpers may read guest state implicitly (syscall).
-                live.update(ALL_GLOBALS)
-            continue
-        outputs = op.outputs()
-        if not any(out in live for out in outputs):
-            keep[index] = False
-            continue
-        for out in outputs:
-            live.discard(out)
-        live.update(op.inputs())
+            live.update(reads[index])
 
     removed = keep.count(False)
     block.ops = [op for op, flag in zip(ops, keep) if flag]

@@ -23,9 +23,17 @@ _TRANSPARENT = frozenset({
 })
 
 
-def merge_fences_pass(block: TCGBlock) -> int:
-    """Merge barrier ops; returns how many were eliminated."""
+def merge_fences_pass(block: TCGBlock) -> tuple[int, int]:
+    """Merge barrier ops; returns ``(merged, empty_dropped)``.
+
+    ``merged`` counts real fences eliminated by merging into a
+    neighbour; ``empty_dropped`` counts ``mb`` ops with mask 0, which
+    never order anything and never reach the backend — they are
+    bookkeeping removals, not eliminated barriers, and must not
+    inflate the fences-eliminated optimizer stat.
+    """
     merged = 0
+    empty_dropped = 0
     new_ops: list[Op] = []
     #: Index in new_ops of the last mb with only pure ops after it.
     open_fence: int | None = None
@@ -34,7 +42,7 @@ def merge_fences_pass(block: TCGBlock) -> int:
         if op.name == "mb":
             mask = op.args[0].value
             if mask == 0:
-                merged += 1
+                empty_dropped += 1
                 continue
             if open_fence is not None:
                 # A *strengthened* barrier is an optimizer artefact: its
@@ -63,4 +71,4 @@ def merge_fences_pass(block: TCGBlock) -> int:
         new_ops.append(op)
 
     block.ops = new_ops
-    return merged
+    return merged, empty_dropped

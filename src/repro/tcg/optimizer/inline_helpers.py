@@ -1,0 +1,52 @@
+"""Helper inlining for the second compilation tier.
+
+Hot traces replace costed helper traps with the equivalent first-class
+IR ops, which the backend lowers to straight-line host instructions:
+
+* RMW helpers — the fast-CAS lane of Section 6.3, generalized:
+  ``helper_cmpxchg`` → ``cas`` (casal), ``helper_xadd`` →
+  ``atomic_add`` (ldaddal), ``helper_xchg`` → ``atomic_xchg`` (swpal).
+  The native ops carry the same acquire-release ordering (drain +
+  coherence + cas cost on the machine) as the GCC-builtin-backed
+  helpers, so only the trap entry/exit cost disappears.
+* FP helpers — ``helper_fadd``/``helper_fmul`` → the ``fadd``/``fmul``
+  scalar-double ops, which the machine executes with the identical
+  Python float64 arithmetic the softfloat helper uses.  Results are
+  bit-identical; only the helper-call + softfloat cost is saved.
+
+``helper_fdiv`` and ``helper_fsqrt`` are deliberately *not* inlinable:
+the helpers raise a guest fault on division by zero / negative sqrt,
+while the native ops produce inf/NaN — inlining them would change
+guest-visible behavior on those inputs.
+"""
+
+from __future__ import annotations
+
+from ..ir import Op, TCGBlock
+
+#: helper name -> equivalent IR op.  Argument layouts line up exactly:
+#: helper (ret, *args) == op (dst, *inputs) for every entry.
+_INLINABLE: dict[str, str] = {
+    "helper_cmpxchg": "cas",         # (old, addr, expected, new)
+    "helper_xadd": "atomic_add",     # (old, addr, addend)
+    "helper_xchg": "atomic_xchg",    # (old, addr, new)
+    "helper_fadd": "fadd",           # (result, a, b)
+    "helper_fmul": "fmul",           # (result, a, b)
+}
+
+
+def inline_helpers_pass(block: TCGBlock) -> int:
+    """Rewrite inlinable helper calls to IR ops; returns the count."""
+    inlined = 0
+    new_ops: list[Op] = []
+    for op in block.ops:
+        native = _INLINABLE.get(op.args[0]) if op.name == "call" \
+            else None
+        if native is not None and op.args[1] is not None:
+            helper, ret, *args = op.args
+            new_ops.append(Op(native, (ret, *args)))
+            inlined += 1
+        else:
+            new_ops.append(op)
+    block.ops = new_ops
+    return inlined

@@ -1,0 +1,124 @@
+"""Superblock (trace) stitching for the second compilation tier.
+
+Concatenates the TCG IR of consecutive hot blocks — the chain the
+runtime's ``goto_tb`` successor profile recorded — into one straight-
+line trace block:
+
+* block-local temps are renamed per segment (``t3`` → ``s2_t3``) so the
+  segments' allocation spaces cannot collide,
+* segment-local labels are renumbered into one shared label space,
+* a ``goto_tb`` whose constant target is the next chain member *and*
+  is the segment's final op is dropped — control falls through the
+  seam, which is what lets the optimizer pipeline see across it,
+* a ``goto_tb`` to any other chain member becomes an internal ``br``
+  to that segment's entry label (loop back-edges stay inside the
+  trace, never re-entering the dispatcher),
+* every remaining ``goto_tb``/``exit_tb`` is a **side exit**: it keeps
+  its tier-1 dispatch lowering, so control that leaves the trace lands
+  in the ordinary dispatcher and falls back to tier-1 blocks.
+
+Entry labels are emitted only for segments actually targeted by an
+internal branch: an unlabeled seam is transparent to every optimizer
+pass (they all reset state at ``set_label``), so pure fallthrough
+chains get the full cross-seam treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ir import Const, LabelRef, Op, TCGBlock, Temp
+
+
+@dataclass
+class StitchedTrace:
+    """Stitcher output plus the shape facts the promoter gates on."""
+
+    block: TCGBlock
+    #: goto_tb seams converted to in-trace branches (incl. back-edges).
+    internal_branches: int
+    #: goto_tb seams dropped entirely (fallthrough into the next
+    #: segment) — each one is a dispatcher round-trip eliminated.
+    fallthroughs: int
+    #: dispatch exits remaining in the trace (goto_tb + exit_tb).
+    side_exits: int
+
+
+def _label_space(block: TCGBlock) -> int:
+    """Size of a block's local label space (max LabelRef index + 1)."""
+    highest = -1
+    for op in block.ops:
+        for arg in op.args:
+            if isinstance(arg, LabelRef):
+                highest = max(highest, arg.index)
+    return highest + 1
+
+
+def stitch_trace(blocks: list[TCGBlock]) -> StitchedTrace:
+    """Stitch translated chain blocks into one trace TCGBlock."""
+    pc_to_seg = {b.guest_pc: i for i, b in enumerate(blocks)}
+    label_base: list[int] = []
+    total_labels = 0
+    for block in blocks:
+        label_base.append(total_labels)
+        total_labels += _label_space(block)
+
+    def is_fallthrough(seg: int, pos: int, op: Op) -> bool:
+        return (op.name == "goto_tb"
+                and isinstance(op.args[0], Const)
+                and seg + 1 < len(blocks)
+                and op.args[0].value == blocks[seg + 1].guest_pc
+                and pos == len(blocks[seg].ops) - 1)
+
+    # Pass 1: which segments does an internal branch target?
+    targeted: set[int] = set()
+    for seg, block in enumerate(blocks):
+        for pos, op in enumerate(block.ops):
+            if op.name == "goto_tb" and isinstance(op.args[0], Const) \
+                    and op.args[0].value in pc_to_seg \
+                    and not is_fallthrough(seg, pos, op):
+                targeted.add(pc_to_seg[op.args[0].value])
+    entry_label = {
+        seg: LabelRef(total_labels + k)
+        for k, seg in enumerate(sorted(targeted))
+    }
+
+    # Pass 2: emit, renaming temps and labels per segment.
+    def rename(value, seg: int):
+        if isinstance(value, Temp) and not value.is_global:
+            return Temp(f"s{seg}_{value.name}")
+        if isinstance(value, LabelRef):
+            return LabelRef(label_base[seg] + value.index)
+        return value
+
+    ops: list[Op] = []
+    internal_branches = 0
+    fallthroughs = 0
+    side_exits = 0
+    for seg, block in enumerate(blocks):
+        if seg in entry_label:
+            ops.append(Op("set_label", (entry_label[seg],)))
+        for pos, op in enumerate(block.ops):
+            if is_fallthrough(seg, pos, op):
+                fallthroughs += 1
+                continue
+            if op.name == "goto_tb" and isinstance(op.args[0], Const) \
+                    and op.args[0].value in pc_to_seg:
+                target = pc_to_seg[op.args[0].value]
+                ops.append(Op("br", (entry_label[target],)))
+                internal_branches += 1
+                continue
+            if op.name in ("goto_tb", "exit_tb"):
+                side_exits += 1
+            ops.append(Op(op.name,
+                          tuple(rename(a, seg) for a in op.args),
+                          origin=op.origin))
+
+    trace = TCGBlock(guest_pc=blocks[0].guest_pc, ops=ops)
+    trace.guest_insns = sum(b.guest_insns for b in blocks)
+    return StitchedTrace(
+        block=trace,
+        internal_branches=internal_branches,
+        fallthroughs=fallthroughs,
+        side_exits=side_exits,
+    )

@@ -85,6 +85,11 @@ class RunSpec:
     #: Store-buffer mode for the machine — applied to *every* variant,
     #: native included, so the bars of one benchmark are comparable.
     buffer_mode: BufferMode = BufferMode.WEAK
+    #: Tier-2 hotness knob for DBT variants: ``None`` defers to
+    #: ``REPRO_TIER2_THRESHOLD``, ``0`` forces tier-2 off, a positive
+    #: count promotes hot blocks to superblock traces at that dispatch
+    #: count.  Ignored by native runs and ablations.
+    tier2_threshold: int | None = None
     # kind == "kernel"
     kernel: KernelSpec | None = None
     # kind == "library"
@@ -123,6 +128,14 @@ class RunRow:
     opt_mem_eliminated: int = 0
     opt_fences_merged: int = 0
     opt_dead_removed: int = 0
+    opt_empty_fences_dropped: int = 0
+    opt_helpers_inlined: int = 0
+    #: tier-2 (superblock) counters from RunStats; all zero when
+    #: tier-2 is off or the variant is native.
+    tier2_traces: int = 0
+    tier2_trace_blocks: int = 0
+    tier2_trace_dispatches: int = 0
+    tier2_cycles: int = 0
     #: behaviour-cache counters accumulated during the run (litmus
     #: ablations; zero for machine workloads).  ``cache_misses`` counts
     #: in-process misses; the disk pair splits those misses into
@@ -209,6 +222,16 @@ def _row_from_workload(spec: RunSpec, outcome: WorkloadResult,
         opt_mem_eliminated=result.opt_stats.mem_eliminated,
         opt_fences_merged=result.opt_stats.fences_merged,
         opt_dead_removed=result.opt_stats.dead_removed,
+        opt_empty_fences_dropped=getattr(
+            result.opt_stats, "empty_fences_dropped", 0),
+        opt_helpers_inlined=getattr(
+            result.opt_stats, "helpers_inlined", 0),
+        tier2_traces=getattr(result.stats, "tier2_traces", 0),
+        tier2_trace_blocks=getattr(
+            result.stats, "tier2_trace_blocks", 0),
+        tier2_trace_dispatches=getattr(
+            result.stats, "tier2_trace_dispatches", 0),
+        tier2_cycles=getattr(result.stats, "tier2_cycles", 0),
         fence_origin_cycles=dict(
             getattr(result, "fence_cycles_by_origin", {}) or {}),
         hot_blocks=_hot_blocks(result),
@@ -305,7 +328,8 @@ def execute_spec(spec: RunSpec) -> RunRow:
             raise ReproError(f"kernel spec missing for {spec.benchmark}")
         outcome = run_kernel(spec.kernel, spec.variant, seed=spec.seed,
                              costs=spec.costs, max_steps=spec.max_steps,
-                             buffer_mode=spec.buffer_mode)
+                             buffer_mode=spec.buffer_mode,
+                             tier2_threshold=spec.tier2_threshold)
     elif spec.kind == "library":
         try:
             library = LIBRARY_BUILDERS[spec.library]()
@@ -317,7 +341,8 @@ def execute_spec(spec: RunSpec) -> RunRow:
         outcome = run_library_workload(
             spec.function, spec.args, spec.calls, spec.variant, library,
             setup_memory=setup, seed=spec.seed, costs=spec.costs,
-            max_steps=spec.max_steps, buffer_mode=spec.buffer_mode)
+            max_steps=spec.max_steps, buffer_mode=spec.buffer_mode,
+            tier2_threshold=spec.tier2_threshold)
     elif spec.kind == "cas":
         if spec.cas is None:
             raise ReproError(f"cas config missing for {spec.benchmark}")

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..dbt import DBTEngine, NATIVE, NativeRunner, RunResult, \
     VARIANT_NAMES, VARIANTS, resolve_variant
+from ..dbt.config import Tier2Config
 from ..errors import ReproError
 from ..isa.arm.assembler import assemble as assemble_arm
 from ..loader.gelf import GuestBinary, build_binary
@@ -41,16 +42,33 @@ class WorkloadResult:
         return self.result.elapsed_cycles
 
 
+def _resolve_tier2(tier2_threshold: int | None):
+    """Map the harness knob onto the engine's ``tier2`` argument.
+
+    ``None`` defers to the ``REPRO_TIER2_THRESHOLD`` environment (the
+    engine's own default), ``0`` forces tier-2 off, and a positive
+    count becomes a :class:`~repro.dbt.config.Tier2Config` promoting
+    at that dispatch count.
+    """
+    if tier2_threshold is None:
+        return {}
+    if tier2_threshold <= 0:
+        return {"tier2": None}
+    return {"tier2": Tier2Config(threshold=tier2_threshold)}
+
+
 def _make_engine(variant: str, n_cores: int, seed: int,
                  costs: CostModel | None,
-                 buffer_mode: BufferMode = BufferMode.WEAK):
+                 buffer_mode: BufferMode = BufferMode.WEAK,
+                 tier2_threshold: int | None = None):
     config = resolve_variant(variant)
     if config is None:
         engine = NativeRunner(n_cores=n_cores, seed=seed, costs=costs,
                               buffer_mode=buffer_mode)
     else:
         engine = DBTEngine(config, n_cores=n_cores, seed=seed,
-                           costs=costs, buffer_mode=buffer_mode)
+                           costs=costs, buffer_mode=buffer_mode,
+                           **_resolve_tier2(tier2_threshold))
     # Parity guard for grid sweeps: every variant of a benchmark,
     # native included, must run under the memory setup the spec asked
     # for — a silently defaulted buffer mode is the bug this catches.
@@ -67,11 +85,13 @@ def run_kernel(spec: KernelSpec, variant: str,
                seed: int = 7, costs: CostModel | None = None,
                max_steps: int = 80_000_000,
                buffer_mode: BufferMode = BufferMode.WEAK,
+               tier2_threshold: int | None = None,
                ) -> WorkloadResult:
     """Run one PARSEC/Phoenix kernel under a variant (or natively)."""
     started = time.perf_counter()
     n_cores = spec.threads
-    engine = _make_engine(variant, n_cores, seed, costs, buffer_mode)
+    engine = _make_engine(variant, n_cores, seed, costs, buffer_mode,
+                          tier2_threshold)
     if variant == NATIVE:
         assembly = assemble_arm(gen_arm_program(spec), base=0x0100_0000
                                 + 0x0F00_0000)
@@ -126,6 +146,7 @@ def run_library_workload(function_name: str, args: tuple[int, ...],
                          costs: CostModel | None = None,
                          max_steps: int = 80_000_000,
                          buffer_mode: BufferMode = BufferMode.WEAK,
+                         tier2_threshold: int | None = None,
                          ) -> WorkloadResult:
     """Benchmark a shared-library function under a variant.
 
@@ -137,7 +158,8 @@ def run_library_workload(function_name: str, args: tuple[int, ...],
     """
     started = time.perf_counter()
     function = library[function_name]
-    engine = _make_engine(variant, 1, seed, costs, buffer_mode)
+    engine = _make_engine(variant, 1, seed, costs, buffer_mode,
+                          tier2_threshold)
     memory = engine.machine.memory
     if setup_memory is not None:
         setup_memory(memory)

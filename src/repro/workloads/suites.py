@@ -69,7 +69,8 @@ def kernel_grid(specs: tuple[KernelSpec, ...] = ALL_SPECS,
                                              "tcg-ver", "risotto",
                                              "native"),
                 *, iterations: int | None = None, seed: int = 7,
-                max_steps: int = 80_000_000):
+                max_steps: int = 80_000_000,
+                tier2_threshold: int | None = None):
     """The Figure 12 sweep as :class:`~.parallel.RunSpec` rows.
 
     Row order is (benchmark-major, variant-minor) — the order the
@@ -87,6 +88,7 @@ def kernel_grid(specs: tuple[KernelSpec, ...] = ALL_SPECS,
             grid.append(RunSpec(
                 kind="kernel", benchmark=spec.name, variant=variant,
                 seed=seed, max_steps=max_steps, kernel=sized,
+                tier2_threshold=tier2_threshold,
             ))
     return tuple(grid)
 

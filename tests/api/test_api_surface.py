@@ -35,6 +35,8 @@ EXPECTED_SURFACE = {
     "VARIANTS", "VARIANT_NAMES", "NATIVE", "resolve_variant",
     "DBTConfig", "DBTEngine", "NativeRunner",
     "BufferMode", "CostModel", "ReproError",
+    # tiered JIT (superblock) knobs
+    "Tier2Config", "tier2_from_env", "DEFAULT_TIER2_THRESHOLD",
     # cache controls
     "xlat_cache_stats", "xlat_cache_dir", "xlat_cache_enabled",
     "clear_xlat_cache", "reset_xlat_memory", "get_xlat_cache",
@@ -50,7 +52,7 @@ RUN_FUNCTIONS = ("run_kernel", "run_library_workload",
 #: The one spelling each concept has across the facade.
 CANONICAL_NAMES = {"variant", "n_cores", "seed", "costs",
                    "buffer_mode", "max_steps", "library",
-                   "setup_memory"}
+                   "setup_memory", "tier2_threshold"}
 
 
 class TestSurfaceSnapshot:
