@@ -36,7 +36,11 @@ from .core.behavior_cache import (
     clear_disk_cache as clear_behavior_cache,
     enabled as behavior_cache_enabled,
 )
-from .core.enumerate import behavior_cache_stats
+from .core.corpus_large import FIVE_THREAD_CORPUS, verify_registry
+from .core.dpor import reduced_behaviors
+from .core.enumerate import behavior_cache_stats, enumeration_stats, \
+    reset_enumeration_stats
+from .core.models import MODEL_BY_NAME
 from .dbt import DBTConfig, DBTEngine, NATIVE, NativeRunner, \
     RunResult, VARIANT_NAMES, VARIANTS, resolve_variant
 from .dbt.config import DEFAULT_TIER2_THRESHOLD, Tier2Config, \
@@ -72,6 +76,7 @@ from .workloads import (
     kernel_grid,
     library_grid,
     run_parallel,
+    verify_grid,
 )
 from .workloads import runner as _runner
 from .workloads.casbench import CasConfig, FIGURE15_CONFIGS, \
@@ -97,6 +102,11 @@ __all__ = [
     "ALL_SPECS", "PARSEC_SPECS", "PHOENIX_SPECS", "SPEC_BY_NAME",
     "FIGURE15_CONFIGS", "DATA_BUF",
     "kernel_grid", "library_grid", "cas_grid", "ablation_grid",
+    "verify_grid",
+    # sharded verification / enumeration reduction
+    "MODEL_BY_NAME", "FIVE_THREAD_CORPUS", "verify_registry",
+    "reduced_behaviors", "enumeration_stats",
+    "reset_enumeration_stats",
     "build_libm", "build_libcrypto", "build_libsqlite",
     "standard_libraries", "throughput_from_cycles",
     "gen_x86_program", "gen_arm_program",

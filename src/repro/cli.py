@@ -68,6 +68,46 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-footer", action="store_true",
                      help="suppress the harness stats footer")
 
+    verify = sub.add_parser(
+        "verify",
+        help="sharded Theorem-1 behaviour enumeration over a litmus "
+             "corpus")
+    verify.add_argument("--corpus", choices=("classic", "large", "all"),
+                        default="all",
+                        help="classic = the paper corpus, large = the "
+                             "5-thread fixtures, all = both (default)")
+    verify.add_argument("--tests", metavar="T1,T2,...",
+                        help="explicit litmus-test subset (overrides "
+                             "--corpus)")
+    verify.add_argument("--models", metavar="M1,M2,...",
+                        default="x86-tso",
+                        help="comma-separated model names "
+                             "(default: x86-tso)")
+    verify.add_argument("--reduction",
+                        choices=("dpor", "staged", "naive"),
+                        default="dpor",
+                        help="enumeration strategy (default: dpor)")
+    verify.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: "
+                             "REPRO_WORKERS or the cpu count)")
+    verify.add_argument("--enum-limit", type=int, default=None,
+                        metavar="N",
+                        help="materialized-candidate cap per cell "
+                             "(default: enumerator default)")
+    verify.add_argument("--use-cache", action="store_true",
+                        help="serve cells through the behaviour cache")
+    verify.add_argument("--cache-ns", metavar="NAME",
+                        help="behaviour-cache namespace "
+                             "(REPRO_BEHAVIOR_CACHE_NS) for this run")
+    verify.add_argument("--min-pruned", type=float, default=None,
+                        metavar="FRAC",
+                        help="fail (exit 1) when the sweep's pruned "
+                             "fraction drops below this floor")
+    verify.add_argument("--stats-txt", metavar="PATH",
+                        help="write the verifier stats report here")
+    verify.add_argument("--bench-json", metavar="PATH",
+                        help="write the machine-readable export here")
+
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzer (python -m repro.fuzz)",
         add_help=False)
@@ -190,6 +230,102 @@ def _fig15_series(sweep) -> dict:
 
 
 # ----------------------------------------------------------------------
+# verify
+# ----------------------------------------------------------------------
+def _verify_tests(args) -> tuple[str, ...]:
+    registry = api.verify_registry()
+    if args.tests:
+        wanted = _csv(args.tests)
+        unknown = set(wanted) - set(registry)
+        if unknown:
+            raise ReproError(
+                f"unknown litmus tests {sorted(unknown)}; expected a "
+                f"subset of {sorted(registry)}")
+        return wanted
+    large = {t.name for t in api.FIVE_THREAD_CORPUS}
+    if args.corpus == "large":
+        return tuple(name for name in registry if name in large)
+    if args.corpus == "classic":
+        return tuple(name for name in registry if name not in large)
+    return tuple(registry)
+
+
+def _verify_report(sweep, args, stats) -> str:
+    lines = [
+        f"sharded verification — reduction={args.reduction} "
+        f"workers={sweep.workers}",
+        f"{'test':12s} {'model/reduction':24s} {'behs':>5s} "
+        f"{'digest':16s} {'naive':>10s} {'materialized':>12s} "
+        f"{'wall_s':>8s}",
+    ]
+    for row in sweep:
+        digest, count = (row.payload + ("?", 0))[:2] if row.payload \
+            else ("?", 0)
+        lines.append(
+            f"{row.benchmark:12s} {row.variant:24s} {count:5d} "
+            f"{digest:16s} {row.enum_candidates_naive:10d} "
+            f"{row.enum_executions:12d} {row.wall_seconds:8.2f}")
+    lines.append("")
+    from .analysis import run_stats_footer
+    lines.append(run_stats_footer(sweep, "verify harness stats"))
+    lines.append(
+        f"pruned fraction: {stats.enum_pruned_fraction:.4f} "
+        f"({stats.enum_executions} of {stats.enum_candidates_naive} "
+        f"naive candidates materialized)")
+    return "\n".join(lines)
+
+
+def _cmd_verify(args) -> int:
+    import os
+
+    from .analysis.export import write_bench_json
+    from .analysis.stats import aggregate_sweep
+
+    if args.cache_ns:
+        os.environ["REPRO_BEHAVIOR_CACHE_NS"] = args.cache_ns
+    models = _csv(args.models) or ("x86-tso",)
+    unknown = set(models) - set(api.MODEL_BY_NAME)
+    if unknown:
+        raise ReproError(
+            f"unknown models {sorted(unknown)}; expected a subset of "
+            f"{sorted(api.MODEL_BY_NAME)}")
+    specs = api.verify_grid(
+        _verify_tests(args), models, reduction=args.reduction,
+        enum_limit=args.enum_limit, use_cache=args.use_cache)
+    sweep = api.run_parallel(specs, workers=args.workers, strict=True)
+    stats = aggregate_sweep(sweep)
+    report = _verify_report(sweep, args, stats)
+    print(report)
+    if args.stats_txt:
+        from pathlib import Path
+        path = Path(args.stats_txt)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report + "\n")
+        print(f"wrote {path}")
+    if args.bench_json:
+        path = write_bench_json(
+            args.bench_json, "verify", sweep=sweep,
+            extra={
+                "reduction": args.reduction,
+                "models": list(models),
+                "tests": [spec.benchmark for spec in specs],
+                "pruned_fraction": stats.enum_pruned_fraction,
+                "behavior_digests": {
+                    f"{row.benchmark}|{row.variant}": list(row.payload)
+                    for row in sweep
+                },
+            })
+        print(f"wrote {path}")
+    if args.min_pruned is not None \
+            and stats.enum_pruned_fraction < args.min_pruned:
+        print(f"FAIL: pruned fraction "
+              f"{stats.enum_pruned_fraction:.4f} below floor "
+              f"{args.min_pruned:.4f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
 # cache
 # ----------------------------------------------------------------------
 def _dir_usage(directory) -> tuple[int, int]:
@@ -284,6 +420,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "cache":
         return _cmd_cache(args)
     parser.print_help()

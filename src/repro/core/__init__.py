@@ -14,15 +14,18 @@ from .program import FenceOp, If, Load, Program, Rmw, Store
 from .relations import Rel
 from .enumerate import behaviors, consistent_executions, \
     enumerate_consistent, enumerate_executions
-from .models import ARM, ARM_ORIGINAL, SC, TCG, X86
-from . import litmus_library, mappings, transforms, verifier
+from .dpor import reduced_behaviors
+from .models import ARM, ARM_ORIGINAL, MODEL_BY_NAME, SC, TCG, X86
+from . import corpus_large, litmus_library, mappings, transforms, \
+    verifier
 
 __all__ = [
     "Arch", "Event", "Fence", "Mode", "RmwFlavor",
     "Execution", "Rel",
     "FenceOp", "If", "Load", "Program", "Rmw", "Store",
     "behaviors", "consistent_executions", "enumerate_consistent",
-    "enumerate_executions",
-    "ARM", "ARM_ORIGINAL", "SC", "TCG", "X86",
-    "litmus_library", "mappings", "transforms", "verifier",
+    "enumerate_executions", "reduced_behaviors",
+    "ARM", "ARM_ORIGINAL", "MODEL_BY_NAME", "SC", "TCG", "X86",
+    "corpus_large", "litmus_library", "mappings", "transforms",
+    "verifier",
 ]

@@ -27,6 +27,12 @@ Configuration via ``REPRO_BEHAVIOR_CACHE``: unset uses
 ``<cwd>/.repro-cache/behaviors``; a path overrides the directory; ``0``
 or ``off`` disables the disk layer entirely (the in-process memo in
 :mod:`repro.core.enumerate` still applies).
+
+``REPRO_BEHAVIOR_CACHE_NS`` names a *namespace* — a subdirectory of the
+store.  Sharded verification runs set it so concurrent sweeps with
+different corpora (or experimental model edits) never interleave in one
+directory; writers in the same namespace stay safe through the atomic
+replace, and ``clear_disk_cache`` touches only the active namespace.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ import tempfile
 from pathlib import Path
 
 ENV_VAR = "REPRO_BEHAVIOR_CACHE"
+NAMESPACE_ENV = "REPRO_BEHAVIOR_CACHE_NS"
 _OFF_VALUES = frozenset({"0", "off", "none", "disabled"})
 
 #: Lazily computed digest of the behaviour-computation source.
@@ -49,13 +56,13 @@ def _code_salt() -> str:
     if _CODE_SALT is None:
         import inspect
 
-        from . import axioms, enumerate as enum_mod, events, execution, \
-            program, relations
+        from . import axioms, dpor, enumerate as enum_mod, events, \
+            execution, program, relations
         from .models import armcats, base, tcg, x86tso
 
         hasher = hashlib.sha256()
-        for module in (enum_mod, relations, execution, axioms, events,
-                       program, base, x86tso, armcats, tcg):
+        for module in (enum_mod, dpor, relations, execution, axioms,
+                       events, program, base, x86tso, armcats, tcg):
             try:
                 hasher.update(inspect.getsource(module).encode())
             except (OSError, TypeError):  # pragma: no cover - frozen envs
@@ -97,11 +104,27 @@ def enabled() -> bool:
     return os.environ.get(ENV_VAR, "").strip().lower() not in _OFF_VALUES
 
 
+def namespace() -> str:
+    """The active cache namespace (sanitized), or "" for the root.
+
+    Only ``[A-Za-z0-9._-]`` survive, and a name reduced to dots alone
+    is dropped entirely — ``..`` must never become a path component.
+    """
+    raw = os.environ.get(NAMESPACE_ENV, "").strip()
+    ns = "".join(c for c in raw if c.isalnum() or c in "._-")
+    if not ns.strip("."):
+        return ""
+    return ns
+
+
 def cache_dir() -> Path:
     override = os.environ.get(ENV_VAR, "").strip()
     if override and override.lower() not in _OFF_VALUES:
-        return Path(override)
-    return Path.cwd() / ".repro-cache" / "behaviors"
+        base = Path(override)
+    else:
+        base = Path.cwd() / ".repro-cache" / "behaviors"
+    ns = namespace()
+    return base / ns if ns else base
 
 
 def _entry_path(key: str) -> Path:

@@ -1,0 +1,158 @@
+"""A 5–6-thread litmus corpus sized beyond the naive enumerator.
+
+These programs are the stress fixtures for the DPOR + symmetry +
+coherence-class reduction stack (``repro.core.dpor``): their naive
+rf × co cross products run to hundreds of thousands of candidates —
+``W5+RR`` alone has 518 400, past any practical candidate limit — while
+the reduced search materializes a few dozen.  The sharded verifier
+(``python -m repro verify --corpus large``) and
+``benchmarks/test_verify_sharded.py`` both run over this corpus.
+
+Several programs deliberately repeat byte-identical thread bodies so
+thread-symmetry breaking has orbits to collapse (up to 4! = 24 for
+``W4+2RR``, 5! = 120 for ``CAS5``).
+"""
+
+from __future__ import annotations
+
+from .litmus_library import (
+    ALL_TESTS,
+    CAS,
+    If,
+    LitmusTest,
+    R,
+    W,
+    outcome,
+    x86,
+)
+
+#: Classic IRIW widened with a duplicated reader pair: two writers, two
+#: byte-identical readers of (X, Y), one reader of (Y, X).  x86-TSO
+#: forbids the split-brain disagreement where one reader sees X before
+#: Y and the mirrored reader sees Y before X.
+IRIW5 = LitmusTest(
+    program=x86(
+        "IRIW5",
+        (W("X", 1),),
+        (W("Y", 1),),
+        (R("a", "X"), R("b", "Y")),
+        (R("a", "X"), R("b", "Y")),
+        (R("c", "Y"), R("d", "X")),
+    ),
+    forbidden=(outcome(T2_a=1, T2_b=0, T4_c=1, T4_d=0),),
+    allowed=(outcome(T2_a=1, T2_b=1, T4_c=1, T4_d=1),),
+    description="IRIW with a duplicated reader: writes to X and Y must "
+                "appear in one order to all readers on x86",
+)
+
+#: Five identical CAS threads racing on one location.  RMW source
+#: disjointness forces exactly one winner, so the final value is always
+#: 1 — and the 5! = 120 symmetric trace orbits collapse to one.
+CAS5 = LitmusTest(
+    program=x86(
+        "CAS5",
+        (CAS("X", 0, 1, out="r"),),
+        (CAS("X", 0, 1, out="r"),),
+        (CAS("X", 0, 1, out="r"),),
+        (CAS("X", 0, 1, out="r"),),
+        (CAS("X", 0, 1, out="r"),),
+    ),
+    forbidden=(outcome(X=0),),
+    allowed=(outcome(X=1),),
+    description="five racing CAS(0->1): exactly one succeeds, X ends 1",
+)
+
+#: Message passing through a chain of three forwarding threads: each
+#: relay observes its incoming flag and conditionally raises the next.
+#: The final reader seeing flag F4 must see the data write.
+MP_CHAIN5 = LitmusTest(
+    program=x86(
+        "MP-chain5",
+        (W("D", 1), W("F1", 1)),
+        (R("a", "F1"), If("a", 1, then_ops=(W("F2", 1),))),
+        (R("a", "F2"), If("a", 1, then_ops=(W("F3", 1),))),
+        (R("a", "F3"), If("a", 1, then_ops=(W("F4", 1),))),
+        (R("a", "F4"), R("d", "D")),
+    ),
+    forbidden=(outcome(T4_a=1, T4_d=0),),
+    allowed=(outcome(T4_a=1, T4_d=1), outcome(T4_a=0, T4_d=0)),
+    description="message passing relayed through three conditional "
+                "forwarders: F4=1 implies D=1 on x86",
+)
+
+#: Store buffering closed into a five-thread ring: thread i writes Xi
+#: then reads X(i+1 mod 5).  The all-zero outcome stays allowed under
+#: TSO (every read overtakes the neighbouring write).
+SB5_RING = LitmusTest(
+    program=x86(
+        "SB5-ring",
+        (W("X0", 1), R("a", "X1")),
+        (W("X1", 1), R("a", "X2")),
+        (W("X2", 1), R("a", "X3")),
+        (W("X3", 1), R("a", "X4")),
+        (W("X4", 1), R("a", "X0")),
+    ),
+    allowed=(outcome(T0_a=0, T1_a=0, T2_a=0, T3_a=0, T4_a=0),),
+    description="five-thread SB ring: all reads may miss all writes "
+                "under TSO",
+)
+
+#: Four byte-identical writer threads (W X; W Y) against one reader
+#: doing back-to-back reads of X then of Y.  Naive size is
+#: 5^4 rf choices x (4!)^2 co orders = 360 000 candidates; symmetry
+#: (4! orbits) plus coherence classes bring the reduced search down
+#: three orders of magnitude.  CoRR forbids the X reads going backwards.
+W4_2RR = LitmusTest(
+    program=x86(
+        "W4+2RR",
+        (W("X", 1), W("Y", 1)),
+        (W("X", 1), W("Y", 1)),
+        (W("X", 1), W("Y", 1)),
+        (W("X", 1), W("Y", 1)),
+        (R("a", "X"), R("b", "X"), R("c", "Y"), R("d", "Y")),
+    ),
+    forbidden=(outcome(T4_a=1, T4_b=0),),
+    allowed=(outcome(T4_a=0, T4_b=1),),
+    description="four identical writers vs one double-reading reader: "
+                "coherence forbids reading X=1 then X=0",
+)
+
+#: Five byte-identical writer threads against a single (R X; R Y)
+#: reader.  36 rf choices x (5!)^2 forced-free co orders = 518 400
+#: naive candidates — past the verifier's default large-corpus limit,
+#: so the naive and plain staged paths are limit-capped while the
+#: reduced search materializes a few dozen witnesses.
+W5_RR = LitmusTest(
+    program=x86(
+        "W5+RR",
+        (W("X", 1), W("Y", 1)),
+        (W("X", 1), W("Y", 1)),
+        (W("X", 1), W("Y", 1)),
+        (W("X", 1), W("Y", 1)),
+        (W("X", 1), W("Y", 1)),
+        (R("a", "X"), R("b", "Y")),
+    ),
+    forbidden=(),
+    allowed=(outcome(T5_a=1, T5_b=0), outcome(T5_a=0, T5_b=1)),
+    description="five identical writers vs one reader: 518k naive "
+                "candidates, the reduction's headline program",
+)
+
+FIVE_THREAD_CORPUS: tuple[LitmusTest, ...] = (
+    IRIW5,
+    CAS5,
+    MP_CHAIN5,
+    SB5_RING,
+    W4_2RR,
+    W5_RR,
+)
+
+LARGE_TESTS = {t.name: t for t in FIVE_THREAD_CORPUS}
+
+
+def verify_registry() -> dict[str, LitmusTest]:
+    """Every litmus test the sharded verifier can address by name:
+    the classic corpus plus the large 5-thread fixtures."""
+    merged = dict(ALL_TESTS)
+    merged.update(LARGE_TESTS)
+    return merged

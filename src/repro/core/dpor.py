@@ -1,0 +1,425 @@
+"""Source-DPOR-style reduction over the rf/co candidate search.
+
+The staged enumerator of PR 2 walked the *full* rf product and ran the
+model precheck once per complete rf assignment — so a doomed choice for
+one read was rediscovered under every assignment of the other reads,
+and every surviving rf choice still expanded the full linear-extension
+product of coherence orders.  This module replaces that walk with the
+machinery real stateless model checkers use:
+
+* :class:`RfSearch` — a DFS over rf assignments in most-constrained-
+  first order with (a) incremental forced-coherence closures per
+  location, (b) RMW source-disjointness cuts, (c) the model's monotone
+  rf-stage precheck on every *partial* assignment, so an inconsistent
+  prefix kills its whole subtree, and (d) sleep-set memoization: a
+  rejected (read, source) pair is remembered with the exact assignment
+  *footprint* that doomed it, and skipped without re-running closure or
+  precheck whenever that footprint recurs.  The search is exact — it
+  removes only candidates no consistent execution can extend — so
+  :func:`~repro.core.enumerate.enumerate_consistent` keeps its full
+  execution-set semantics on top of it.
+
+* :func:`reduced_behaviors` — the representative mode used by
+  :func:`~repro.core.enumerate.behaviors`: one canonical trace combo
+  per orbit of identical-thread permutations (behaviours of the others
+  recovered by register renaming), and one coherence *witness* per
+  behaviour-distinguishing class of co instead of every linear
+  extension.  Executions sharing (combo, rf, per-location final write
+  value) have the same ``full_behavior``, so the class search explores
+  candidates until the first consistent witness and moves on — exact
+  for behaviour *sets*, which is all Theorem-1 checking consumes.
+
+Soundness notes (each prune, in one line):
+
+* prefix precheck — ``rf_stage_consistent`` is monotone in rf and co
+  (see :class:`~repro.core.models.base.MemoryModel`); extending an
+  assignment only grows rf and the forced co edges, so a violated
+  axiom stays violated.
+* sleep sets — a rejection's footprint is the set of (read, source)
+  assignments it depended on (same-location assignments for coherence
+  cycles, the whole prefix for precheck failures); any later state
+  whose assignment set contains the footprint reproduces a superset of
+  the offending edges.
+* symmetry — identical thread bodies yield identical trace lists, and
+  relabeling identical threads is an isomorphism of candidate
+  executions for tid-agnostic models; behaviours follow by renaming
+  the ``T<tid>:<reg>`` register keys (memory keys are invariant).
+* coherence classes — the final value of a location under a total co
+  is its co-last write, which must be maximal in the forced partial
+  order; grouping maximal writes by value partitions the co extensions
+  into behaviour-equivalent classes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from ..errors import ModelError
+from ..obs.trace import get_tracer
+from .execution import Execution
+from .program import Program
+from .relations import Rel, linear_extensions_with_last
+from . import enumerate as enumerate_mod
+from .enumerate import (
+    DEFAULT_CANDIDATE_LIMIT,
+    EnumerationStats,
+    _feasible_rf_options,
+    _forced_co_base,
+    _materialize_combo,
+    _naive_size,
+    _trace_sets,
+)
+
+#: Rejection footprints memoized per (read, source) key.  A small cap
+#: keeps the memo O(reads × sources): the first few footprints catch
+#: the recurring rejections, the long tail is cheaper to re-derive.
+SLEEP_FOOTPRINT_CAP = 8
+
+
+class RfSearch:
+    """DFS over rf assignments for one combo graph.
+
+    Iterating yields ``(rf_choice, forced)`` pairs for every assignment
+    no monotone argument could reject: ``rf_choice`` is aligned with
+    ``graph.reads`` (whatever order the DFS explored), ``forced`` maps
+    each location to the transitive closure of its forced coherence
+    edges under that assignment.
+    """
+
+    def __init__(self, graph, rf_options: list[list[int]], model,
+                 stats: EnumerationStats):
+        self.graph = graph
+        self.options = rf_options
+        self.model = model
+        self.stats = stats
+        self.reads = graph.reads
+        # Most-constrained-first: reads with few sources sit near the
+        # root, so each rejection cuts the biggest possible subtree.
+        # The eid tiebreak keeps the walk (and every counter)
+        # deterministic.
+        self.order = sorted(
+            range(len(self.reads)),
+            key=lambda i: (len(rf_options[i]), self.reads[i].eid))
+        self.edges = {loc: set(pairs)
+                      for loc, pairs in _forced_co_base(graph).items()}
+        self.closed = {loc: Rel(pairs).plus()
+                       for loc, pairs in self.edges.items()}
+        self.choice: dict[int, int] = {}       # read eid -> source eid
+        self.rmw_used: set[int] = set()
+        self.assigned: set[tuple[int, int]] = set()
+        self.by_loc_assigned = {loc: set() for loc in self.edges}
+        self.sleep: dict[tuple[int, int], list[frozenset]] = {}
+
+    def __iter__(self):
+        yield from self._rec(0)
+
+    # ------------------------------------------------------------------
+    def _rec(self, depth: int):
+        if depth == len(self.order):
+            yield (tuple(self.choice[rd.eid] for rd in self.reads),
+                   dict(self.closed))
+            return
+        i = self.order[depth]
+        rd = self.reads[i]
+        loc = rd.loc
+        is_rmw = rd.rmw_partner is not None
+        stats = self.stats
+        last_depth = depth + 1 == len(self.order)
+        for src in self.options[i]:
+            if is_rmw and src in self.rmw_used:
+                stats.rf_rejected_rmw += 1
+                continue
+            key = (rd.eid, src)
+            if self._asleep(key):
+                stats.rf_sleep_skips += 1
+                continue
+            new_edges = self._forced_edges(rd, src) - self.edges[loc]
+            self.edges[loc] |= new_edges
+            closure = Rel(self.edges[loc]).plus()
+            if not closure.is_irreflexive():
+                stats.rf_rejected_coherence += 1
+                # Only same-location assignments contribute edges at
+                # ``loc``, so they are the whole footprint of the cycle.
+                self._remember(key,
+                               frozenset(self.by_loc_assigned[loc]))
+                self.edges[loc] -= new_edges
+                continue
+            prev_closed = self.closed[loc]
+            self.closed[loc] = closure
+            self.choice[rd.eid] = src
+            self.assigned.add(key)
+            self.by_loc_assigned[loc].add(key)
+            if is_rmw:
+                self.rmw_used.add(src)
+            if self._precheck():
+                yield from self._rec(depth + 1)
+            else:
+                stats.rf_rejected_precheck += 1
+                if not last_depth:
+                    stats.rf_prefix_rejected += 1
+                self._remember(key, frozenset(self.assigned - {key}))
+            if is_rmw:
+                self.rmw_used.discard(src)
+            self.by_loc_assigned[loc].discard(key)
+            self.assigned.discard(key)
+            del self.choice[rd.eid]
+            self.closed[loc] = prev_closed
+            self.edges[loc] -= new_edges
+
+    # ------------------------------------------------------------------
+    def _forced_edges(self, rd, src) -> set:
+        """Coherence edges forced by ``rd`` observing ``src``: for every
+        same-location write V of rd's own thread, ``co(V, src)`` when V
+        is po-before rd (else fr(rd,V) cycles with po_loc) and
+        ``co(src, V)`` when V is po-after rd (else rf;po_loc;co cycles).
+        The po-after clause pins a successful RMW's source immediately
+        co-before the pair's own write."""
+        out = set()
+        for v in self.graph.writes_by_loc[rd.loc]:
+            if v.eid == src or v.tid != rd.tid:
+                continue
+            if v.idx < rd.idx:
+                out.add((v.eid, src))
+            else:
+                out.add((src, v.eid))
+        return out
+
+    def _precheck(self) -> bool:
+        """The model's monotone precheck on the current partial
+        assignment: rf over assigned reads, co the union of per-location
+        forced closures."""
+        graph = self.graph
+        rf = Rel((src, eid) for eid, src in self.choice.items())
+        partial_co = Rel(frozenset().union(
+            *(rel.pairs for rel in self.closed.values())
+        )) if self.closed else Rel()
+        ex = Execution(
+            events=graph.events, po=graph.po, rf=rf, co=partial_co,
+            data=graph.data, ctrl=graph.ctrl, regs=graph.regs,
+        )
+        return self.model.rf_stage_consistent(ex)
+
+    def _asleep(self, key) -> bool:
+        return any(fp <= self.assigned
+                   for fp in self.sleep.get(key, ()))
+
+    def _remember(self, key, footprint: frozenset) -> None:
+        entries = self.sleep.setdefault(key, [])
+        if any(fp <= footprint for fp in entries):
+            return  # an existing footprint already covers this state
+        if len(entries) < SLEEP_FOOTPRINT_CAP:
+            entries.append(footprint)
+
+
+# ----------------------------------------------------------------------
+# Thread symmetry
+# ----------------------------------------------------------------------
+def thread_symmetry_classes(program: Program) -> tuple[tuple[int, ...],
+                                                       ...]:
+    """Groups of thread ids with byte-identical op sequences (size > 1
+    only — singleton classes admit no reduction)."""
+    groups: dict = {}
+    for tid, ops in enumerate(program.threads):
+        groups.setdefault(ops, []).append(tid)
+    return tuple(tuple(tids) for tids in groups.values()
+                 if len(tids) > 1)
+
+
+def _is_canonical(combo_idx: tuple[int, ...], classes) -> bool:
+    """A combo is the orbit representative when trace indices are
+    non-decreasing within every identity class."""
+    for tids in classes:
+        for a, b in zip(tids, tids[1:]):
+            if combo_idx[a] > combo_idx[b]:
+                return False
+    return True
+
+
+def _orbit_size(combo_idx: tuple[int, ...], classes) -> int:
+    """Distinct combos reachable by permuting identical threads: the
+    multinomial k!/Π(mult!) per class, multiplied over classes."""
+    size = 1
+    for tids in classes:
+        counts: dict[int, int] = {}
+        for t in tids:
+            counts[combo_idx[t]] = counts.get(combo_idx[t], 0) + 1
+        class_size = math.factorial(len(tids))
+        for mult in counts.values():
+            class_size //= math.factorial(mult)
+        size *= class_size
+    return size
+
+
+def _tid_renamings(classes) -> list[dict[int, int]]:
+    """Every tid permutation generated by the identity classes (the
+    identity mapping included)."""
+    per_class = [
+        [dict(zip(tids, perm))
+         for perm in itertools.permutations(tids)]
+        for tids in classes
+    ]
+    renamings = []
+    for parts in itertools.product(*per_class):
+        mapping: dict[int, int] = {}
+        for part in parts:
+            mapping.update(part)
+        renamings.append(mapping)
+    return renamings or [{}]
+
+
+def _rename_behavior(beh: frozenset, mapping: dict[int, int]):
+    """Rename the ``T<tid>:<reg>`` register keys of one behaviour under
+    a tid permutation; memory keys pass through untouched."""
+    if not mapping:
+        return beh
+    renamed = set()
+    for key, val in beh:
+        tid_part, sep, reg = key.partition(":")
+        if sep and tid_part.startswith("T") and tid_part[1:].isdigit():
+            tid = int(tid_part[1:])
+            if tid in mapping:
+                key = f"T{mapping[tid]}:{reg}"
+        renamed.add((key, val))
+    return frozenset(renamed)
+
+
+# ----------------------------------------------------------------------
+# Representative-mode behaviour enumeration
+# ----------------------------------------------------------------------
+def reduced_behaviors(program: Program, model,
+                      limit: int | None = None,
+                      stats: EnumerationStats | None = None) -> frozenset:
+    """The behaviour set of ``program`` under ``model`` via the full
+    reduction stack: DPOR rf search + thread symmetry + coherence
+    classes.  Bit-identical to the naive/staged behaviour sets (the
+    differential tests pin this); exponentially fewer candidates
+    materialized.
+
+    ``limit`` bounds *materialized* candidates like the other paths;
+    models without ``supports_staged`` fall back to the (accounted)
+    naive filter.  Counters merge into the module-wide
+    :func:`~repro.core.enumerate.enumeration_stats` and ``stats``.
+    """
+    limit = DEFAULT_CANDIDATE_LIMIT if limit is None else limit
+    if not getattr(model, "supports_staged", False):
+        return frozenset(
+            ex.full_behavior
+            for ex in enumerate_mod.enumerate_consistent(
+                program, model, limit=limit, stats=stats)
+        )
+    run = EnumerationStats()
+    tracer = get_tracer()
+    try:
+        with tracer.span("enum.reduced", cat="enum",
+                         program=program.name):
+            result = _reduced_staged(program, model, limit, run)
+    finally:
+        if tracer.enabled:
+            tracer.counter(
+                "enum.stats", combos=run.combos,
+                rf_choices=run.rf_choices,
+                executions=run.executions_enumerated,
+                consistent=run.consistent)
+        enumerate_mod._ENUM_STATS.merge(run)
+        if stats is not None:
+            stats.merge(run)
+    return result
+
+
+def _reduced_staged(program: Program, model, limit: int,
+                    stats: EnumerationStats) -> frozenset:
+    per_thread, locations = _trace_sets(program)
+    classes = thread_symmetry_classes(program)
+    renamings = _tid_renamings(classes)
+    produced = 0
+    behaviors: set = set()
+
+    for combo_idx in itertools.product(
+            *(range(len(traces)) for traces in per_thread)):
+        if classes and not _is_canonical(combo_idx, classes):
+            stats.symmetry_collapsed += 1
+            continue
+        combo = tuple(per_thread[t][i]
+                      for t, i in enumerate(combo_idx))
+        graph = _materialize_combo(program, locations, combo)
+        stats.combos += 1
+        naive = _naive_size(graph)
+        orbit = _orbit_size(combo_idx, classes) if classes else 1
+        # The whole orbit contributes to the naive denominator — every
+        # symmetric image has the same cross-product size.
+        stats.candidates_naive += naive * orbit
+        if naive == 0:
+            continue
+        rf_options = _feasible_rf_options(graph, stats)
+        if rf_options is None:
+            continue
+        write_ids = {
+            loc: [w.eid for w in writes]
+            for loc, writes in graph.writes_by_loc.items()
+        }
+
+        for rf_choice, forced in RfSearch(graph, rf_options, model,
+                                          stats):
+            stats.rf_choices += 1
+            rf = Rel(
+                (src, rd.eid)
+                for src, rd in zip(rf_choice, graph.reads)
+            )
+            # Per location: forced-order-maximal writes, grouped by the
+            # value they would leave behind.  Each cross-location value
+            # class is one candidate behaviour; search it for a single
+            # consistent witness.
+            class_lists = []
+            for loc in locations:
+                ids = write_ids[loc]
+                closed_pairs = forced[loc].pairs
+                maximal = [
+                    w for w in ids
+                    if not any((w, x) in closed_pairs for x in ids)
+                ]
+                by_val: dict[int, list[int]] = {}
+                for w in maximal:
+                    by_val.setdefault(graph.events[w].val,
+                                      []).append(w)
+                class_lists.append(
+                    [wids for _, wids in sorted(by_val.items())])
+
+            for class_choice in itertools.product(*class_lists):
+                stats.co_classes += 1
+                witness = None
+                for lasts in itertools.product(*class_choice):
+                    exts = [
+                        linear_extensions_with_last(
+                            write_ids[loc], forced[loc].pairs, last)
+                        for loc, last in zip(locations, lasts)
+                    ]
+                    for co_parts in itertools.product(*exts):
+                        produced += 1
+                        stats.executions_enumerated += 1
+                        if produced > limit:
+                            raise ModelError(
+                                f"{program.name}: candidate executions "
+                                f"exceed limit {limit}"
+                            )
+                        co = Rel(frozenset().union(
+                            *(part.pairs for part in co_parts)
+                        )) if co_parts else Rel()
+                        ex = Execution(
+                            events=graph.events, po=graph.po, rf=rf,
+                            co=co, data=graph.data, ctrl=graph.ctrl,
+                            regs=graph.regs,
+                        )
+                        if model.is_consistent(ex):
+                            witness = ex
+                            break
+                    if witness is not None:
+                        break
+                if witness is None:
+                    continue
+                stats.consistent += 1
+                beh = witness.full_behavior
+                for mapping in renamings:
+                    behaviors.add(_rename_behavior(beh, mapping))
+
+    return frozenset(behaviors)

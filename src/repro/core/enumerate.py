@@ -18,16 +18,24 @@ Two enumeration paths share that pipeline:
   product, no model consulted.  Kept as the differential-testing oracle.
 * :func:`enumerate_consistent` — the staged fast path used by
   :func:`consistent_executions`/:func:`behaviors`.  It prunes rf
-  candidates with model-independent coherence facts, enforces RMW
-  source-disjointness during the rf product, derives the coherence
-  edges every rf choice *forces*, runs the model's rf-stage precheck on
-  that partial execution, and then enumerates only the linear
-  extensions of the forced order — so inconsistent rf choices die
-  before a single coherence permutation is expanded.  Every prune is
-  justified by sc-per-loc/atomicity alone (the axioms all the paper's
-  models share), and the model precheck by co-monotonicity of the
-  axioms; ``tests/core/test_differential_enumeration.py`` checks the
-  two paths bit-identical over the whole corpus.
+  candidates with model-independent coherence facts, then walks the
+  rf assignment space as a DPOR-style DFS (:class:`repro.core.dpor.
+  RfSearch`): RMW source-disjointness cuts, incremental forced-
+  coherence closures, the model's monotone rf-stage precheck on every
+  *partial* assignment (so an inconsistent prefix kills its whole
+  subtree, not one leaf), and sleep-set memoization of rejections.
+  Surviving rf leaves expand only the linear extensions of the forced
+  coherence order.  Every prune is justified by sc-per-loc/atomicity
+  alone (the axioms all the paper's models share), and the prefix
+  precheck by rf/co-monotonicity of the axioms;
+  ``tests/core/test_differential_enumeration.py`` checks the two paths
+  bit-identical over the whole corpus.
+* :func:`repro.core.dpor.reduced_behaviors` — the representative mode
+  behind :func:`behaviors`: on top of the DFS it collapses symmetric
+  trace combinations (identical threads) and enumerates one coherence
+  witness per behaviour-distinguishing class of co instead of every
+  linear extension.  It computes behaviour *sets* (bit-identical to
+  the full enumeration), not execution lists.
 
 Consistency filtering against a memory model and behaviour collection
 are thin wrappers at the bottom; behaviours are memoized in-process and
@@ -43,6 +51,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 from dataclasses import dataclass, field
 
 from ..errors import ModelError
@@ -264,79 +273,121 @@ class _ComboGraph:
     locations: list[str]
 
 
-def _combo_graphs(program: Program):
-    """Yield one :class:`_ComboGraph` per trace combination."""
+def _trace_sets(program: Program):
+    """Per-thread symbolic trace lists plus the sorted location list.
+
+    Identical thread bodies produce identical trace lists (the symbolic
+    execution is deterministic), which is what the symmetry reduction
+    in :mod:`repro.core.dpor` relies on to treat trace *indices* of
+    identical threads as interchangeable.
+    """
     domains = location_domains(program)
     per_thread = [thread_traces(ops, domains) for ops in program.threads]
     locations = sorted(program.locations())
+    return per_thread, locations
 
-    for combo in itertools.product(*per_thread):
-        events: dict[int, Event] = {}
-        next_eid = 0
-        init_writes: dict[str, int] = {}
-        for loc in locations:
-            events[next_eid] = Event(
-                eid=next_eid, tid=INIT_TID, idx=next_eid, kind="W",
-                loc=loc, val=program.init_value(loc), is_init=True,
-                tag=f"init {loc}",
-            )
-            init_writes[loc] = next_eid
-            next_eid += 1
 
-        po_pairs: list[tuple[int, int]] = []
-        data_pairs: list[tuple[int, int]] = []
-        ctrl_pairs: list[tuple[int, int]] = []
-        reg_obs: set[tuple[str, int]] = set()
-
-        for tid, trace in enumerate(combo):
-            base = next_eid
-            for i, spec in enumerate(trace.specs):
-                partner = base + spec.partner \
-                    if spec.partner is not None else None
-                events[next_eid] = Event(
-                    eid=next_eid, tid=tid, idx=i, kind=spec.kind,
-                    loc=spec.loc, val=spec.val, fence=spec.fence,
-                    mode=spec.mode, rmw_flavor=spec.rmw_flavor,
-                    rmw_partner=partner, tag=spec.tag,
-                )
-                next_eid += 1
-            n = len(trace.specs)
-            po_pairs.extend(
-                (base + i, base + j)
-                for i in range(n) for j in range(i + 1, n)
-            )
-            data_pairs.extend((base + a, base + b) for a, b in trace.data)
-            ctrl_pairs.extend((base + a, base + b) for a, b in trace.ctrl)
-            for reg, val in trace.regs.items():
-                reg_obs.add((f"T{tid}:{reg}", val))
-
-        reads = [e for e in events.values() if e.is_read()]
-        writes_by_loc: dict[str, list[Event]] = {}
-        for ev in events.values():
-            if ev.is_write():
-                writes_by_loc.setdefault(ev.loc, []).append(ev)
-
-        yield _ComboGraph(
-            events=events,
-            po=Rel(po_pairs),
-            data=Rel(data_pairs),
-            ctrl=Rel(ctrl_pairs),
-            regs=frozenset(reg_obs),
-            reads=reads,
-            writes_by_loc=writes_by_loc,
-            init_writes=init_writes,
-            locations=locations,
+def _materialize_combo(program: Program, locations: list[str],
+                       combo: tuple) -> _ComboGraph:
+    """Build the :class:`_ComboGraph` for one trace combination."""
+    events: dict[int, Event] = {}
+    next_eid = 0
+    init_writes: dict[str, int] = {}
+    for loc in locations:
+        events[next_eid] = Event(
+            eid=next_eid, tid=INIT_TID, idx=next_eid, kind="W",
+            loc=loc, val=program.init_value(loc), is_init=True,
+            tag=f"init {loc}",
         )
+        init_writes[loc] = next_eid
+        next_eid += 1
+
+    po_pairs: list[tuple[int, int]] = []
+    data_pairs: list[tuple[int, int]] = []
+    ctrl_pairs: list[tuple[int, int]] = []
+    reg_obs: set[tuple[str, int]] = set()
+
+    for tid, trace in enumerate(combo):
+        base = next_eid
+        for i, spec in enumerate(trace.specs):
+            partner = base + spec.partner \
+                if spec.partner is not None else None
+            events[next_eid] = Event(
+                eid=next_eid, tid=tid, idx=i, kind=spec.kind,
+                loc=spec.loc, val=spec.val, fence=spec.fence,
+                mode=spec.mode, rmw_flavor=spec.rmw_flavor,
+                rmw_partner=partner, tag=spec.tag,
+            )
+            next_eid += 1
+        n = len(trace.specs)
+        po_pairs.extend(
+            (base + i, base + j)
+            for i in range(n) for j in range(i + 1, n)
+        )
+        data_pairs.extend((base + a, base + b) for a, b in trace.data)
+        ctrl_pairs.extend((base + a, base + b) for a, b in trace.ctrl)
+        for reg, val in trace.regs.items():
+            reg_obs.add((f"T{tid}:{reg}", val))
+
+    reads = [e for e in events.values() if e.is_read()]
+    writes_by_loc: dict[str, list[Event]] = {}
+    for ev in events.values():
+        if ev.is_write():
+            writes_by_loc.setdefault(ev.loc, []).append(ev)
+
+    return _ComboGraph(
+        events=events,
+        po=Rel(po_pairs),
+        data=Rel(data_pairs),
+        ctrl=Rel(ctrl_pairs),
+        regs=frozenset(reg_obs),
+        reads=reads,
+        writes_by_loc=writes_by_loc,
+        init_writes=init_writes,
+        locations=locations,
+    )
+
+
+def _combo_graphs(program: Program):
+    """Yield one :class:`_ComboGraph` per trace combination."""
+    per_thread, locations = _trace_sets(program)
+    for combo in itertools.product(*per_thread):
+        yield _materialize_combo(program, locations, combo)
+
+
+def _naive_size(graph: _ComboGraph) -> int:
+    """Arithmetic size of the naive rf × co cross product for one
+    combo: Π (value-matching sources per read) × Π (n-1)! co orders."""
+    naive = 1
+    for rd in graph.reads:
+        naive *= sum(
+            1 for w in graph.writes_by_loc.get(rd.loc, ())
+            if w.val == rd.val and w.eid != rd.eid
+        )
+    for writes in graph.writes_by_loc.values():
+        naive *= math.factorial(len(writes) - 1)
+    return naive
 
 
 # ----------------------------------------------------------------------
 # Naive whole-program enumeration (the differential oracle)
 # ----------------------------------------------------------------------
 def enumerate_executions(program: Program,
-                         limit: int = DEFAULT_CANDIDATE_LIMIT):
-    """Yield every candidate :class:`Execution` of ``program``."""
+                         limit: int = DEFAULT_CANDIDATE_LIMIT,
+                         stats: "EnumerationStats | None" = None):
+    """Yield every candidate :class:`Execution` of ``program``.
+
+    When ``stats`` is given, combos, the arithmetic candidate count and
+    every materialized execution are accounted — the naive path counts
+    ``executions_enumerated == candidates_naive`` by construction, so a
+    mixed-model sweep reports a 0% pruned fraction for it instead of a
+    bogus denominator.
+    """
     produced = 0
     for graph in _combo_graphs(program):
+        if stats is not None:
+            stats.combos += 1
+            stats.candidates_naive += _naive_size(graph)
         rf_options: list[list[int]] = []
         feasible = True
         for rd in graph.reads:
@@ -365,6 +416,8 @@ def enumerate_executions(program: Program,
             )
             for co_parts in itertools.product(*co_options):
                 produced += 1
+                if stats is not None:
+                    stats.executions_enumerated += 1
                 if produced > limit:
                     raise ModelError(
                         f"{program.name}: candidate executions exceed "
@@ -393,14 +446,28 @@ class EnumerationStats:
     candidates_naive: int = 0
     #: Per-read rf sources removed by the coherence-over-po prunes.
     rf_options_pruned: int = 0
-    #: rf assignments emitted by the (RMW-filtered) rf product.
+    #: Complete rf assignments surviving the DFS (one per leaf).
     rf_choices: int = 0
-    #: Product branches cut because two successful RMWs shared a source.
+    #: DFS branches cut because two successful RMWs shared a source.
     rf_rejected_rmw: int = 0
-    #: rf assignments whose forced coherence edges were cyclic.
+    #: rf extensions whose forced coherence edges were cyclic.
     rf_rejected_coherence: int = 0
-    #: rf assignments rejected by the model's rf-stage precheck.
+    #: rf prefixes rejected by the model's monotone precheck (at any
+    #: depth of the DFS — each cut kills the whole subtree below it).
     rf_rejected_precheck: int = 0
+    #: The subset of precheck rejections that happened *above* the
+    #: leaves, i.e. genuine subtree cuts the per-leaf staged path of
+    #: PR 2 could not make.
+    rf_prefix_rejected: int = 0
+    #: DFS branches skipped because a memoized sleep-set footprint
+    #: proved the same rejection without re-running closure/precheck.
+    rf_sleep_skips: int = 0
+    #: Trace combinations skipped as symmetric images of a canonical
+    #: combo (identical-thread permutations; representative mode only).
+    symmetry_collapsed: int = 0
+    #: Behaviour-distinguishing coherence classes examined instead of
+    #: full linear-extension products (representative mode only).
+    co_classes: int = 0
     #: Full executions actually materialized (the staged numerator).
     executions_enumerated: int = 0
     #: Executions found consistent and yielded.
@@ -421,6 +488,10 @@ class EnumerationStats:
         self.rf_rejected_rmw += other.rf_rejected_rmw
         self.rf_rejected_coherence += other.rf_rejected_coherence
         self.rf_rejected_precheck += other.rf_rejected_precheck
+        self.rf_prefix_rejected += other.rf_prefix_rejected
+        self.rf_sleep_skips += other.rf_sleep_skips
+        self.symmetry_collapsed += other.symmetry_collapsed
+        self.co_classes += other.co_classes
         self.executions_enumerated += other.executions_enumerated
         self.consistent += other.consistent
 
@@ -477,39 +548,18 @@ def _pruned_sources(rd: Event, writes: list[Event],
     return srcs
 
 
-def _rf_assignments(reads: list[Event], rf_options: list[list[int]],
-                    stats: EnumerationStats):
-    """The rf product, minus assignments where two distinct successful
-    RMWs read the same source.
-
-    Such sharing always violates a common axiom: the source W is forced
-    co-before both RMW writes (sc-per-loc, as each RMW read of W
-    po-precedes its own write), so whichever RMW write orders first in
-    co sits co-between W and the other pair — an atomicity violation
-    when the pairs are in different threads, and an sc-per-loc cycle
-    when they share one.  The check runs *during* the backtracking
-    product, so a shared source cuts the whole subtree.
-    """
-    is_rmw = [rd.rmw_partner is not None for rd in reads]
-    choice = [0] * len(reads)
-    used: set[int] = set()
-
-    def rec(i: int):
-        if i == len(reads):
-            yield tuple(choice)
-            return
-        for src in rf_options[i]:
-            if is_rmw[i]:
-                if src in used:
-                    stats.rf_rejected_rmw += 1
-                    continue
-                used.add(src)
-            choice[i] = src
-            yield from rec(i + 1)
-            if is_rmw[i]:
-                used.discard(src)
-
-    yield from rec(0)
+def _feasible_rf_options(graph: _ComboGraph,
+                         stats: EnumerationStats) -> list[list[int]] | None:
+    """Pruned rf source lists per read, or None when some read has no
+    source left (the combo is infeasible)."""
+    rf_options: list[list[int]] = []
+    for rd in graph.reads:
+        srcs = _pruned_sources(
+            rd, graph.writes_by_loc.get(rd.loc, []), stats)
+        if not srcs:
+            return None
+        rf_options.append(srcs)
+    return rf_options
 
 
 def _forced_co_base(graph: _ComboGraph) -> dict[str, set]:
@@ -530,65 +580,31 @@ def _forced_co_base(graph: _ComboGraph) -> dict[str, set]:
     return base
 
 
-def _forced_co(graph: _ComboGraph, base: dict[str, set],
-               rf_choice: tuple[int, ...]) -> dict[str, Rel] | None:
-    """Per-location transitive closure of the coherence edges forced by
-    an rf assignment, or None when they cycle (the rf choice is then
-    impossible under sc-per-loc).
-
-    On top of the rf-independent base, a read rd observing W forces,
-    for every same-location write V of rd's own thread:
-
-    * ``co(V, W)`` when V is po-before rd — otherwise co(W,V) makes
-      fr(rd,V), cycling with po_loc(V,rd);
-    * ``co(W, V)`` when V is po-after rd — otherwise co(V,W) closes the
-      cycle rf(W,rd); po_loc(rd,V); co(V,W).
-
-    The second clause covers the RMW pairing: a successful RMW's write
-    is po-after its read, so the observed write is pinned immediately
-    co-before the pair's own write whenever the order is total.
-    """
-    edges = {loc: set(pairs) for loc, pairs in base.items()}
-    for rd, src in zip(graph.reads, rf_choice):
-        loc_edges = edges[rd.loc]
-        for v in graph.writes_by_loc[rd.loc]:
-            if v.eid == src or v.tid != rd.tid:
-                continue
-            if v.idx < rd.idx:
-                loc_edges.add((v.eid, src))
-            else:
-                loc_edges.add((src, v.eid))
-    closed: dict[str, Rel] = {}
-    for loc, pairs in edges.items():
-        closure = Rel(pairs).plus()
-        if not closure.is_irreflexive():
-            return None
-        closed[loc] = closure
-    return closed
-
-
 def enumerate_consistent(program: Program, model,
                          limit: int = DEFAULT_CANDIDATE_LIMIT,
                          stats: EnumerationStats | None = None):
     """Yield every ``model``-consistent execution via the staged path.
 
-    Requires ``model.supports_staged`` (axioms monotone in co and
+    Requires ``model.supports_staged`` (axioms monotone in rf and co,
     inclusive of sc-per-loc + atomicity); models without it fall back
-    to filtering the naive product.  Counters accumulate into the
-    module-wide :func:`enumeration_stats` and, when given, ``stats``.
+    to filtering the naive product.  Both paths account identically:
+    counters accumulate into the module-wide :func:`enumeration_stats`
+    and, when given, ``stats``.
     """
-    if not getattr(model, "supports_staged", False):
-        for ex in enumerate_executions(program, limit=limit):
-            if model.is_consistent(ex):
-                yield ex
-        return
-
     run = EnumerationStats()
     tracer = get_tracer()
+    supports_staged = getattr(model, "supports_staged", False)
+    span = "enum.staged" if supports_staged else "enum.naive_fallback"
     try:
-        with tracer.span("enum.staged", cat="enum",
-                         program=program.name):
-            yield from _enumerate_staged(program, model, limit, run)
+        with tracer.span(span, cat="enum", program=program.name):
+            if supports_staged:
+                yield from _enumerate_staged(program, model, limit, run)
+            else:
+                for ex in enumerate_executions(program, limit=limit,
+                                               stats=run):
+                    if model.is_consistent(ex):
+                        run.consistent += 1
+                        yield ex
     finally:
         if tracer.enabled:
             tracer.counter(
@@ -603,6 +619,8 @@ def enumerate_consistent(program: Program, model,
 
 def _enumerate_staged(program: Program, model, limit: int,
                       stats: EnumerationStats):
+    from .dpor import RfSearch
+
     produced = 0
     tracer = get_tracer()
     trace_stages = tracer.enabled
@@ -613,78 +631,31 @@ def _enumerate_staged(program: Program, model, limit: int,
                            combo=stats.combos,
                            reads=len(graph.reads))
 
-        # Arithmetic size of the naive cross product for this combo:
-        # Π (value-matching sources per read) × Π (n-1)! co orders.
-        naive = 1
-        for rd in graph.reads:
-            naive *= sum(
-                1 for w in graph.writes_by_loc.get(rd.loc, ())
-                if w.val == rd.val and w.eid != rd.eid
-            )
-        for writes in graph.writes_by_loc.values():
-            naive *= math.factorial(len(writes) - 1)
+        naive = _naive_size(graph)
         stats.candidates_naive += naive
         if naive == 0:
             continue
 
-        rf_options: list[list[int]] = []
-        feasible = True
-        for rd in graph.reads:
-            srcs = _pruned_sources(
-                rd, graph.writes_by_loc.get(rd.loc, []), stats)
-            if not srcs:
-                feasible = False
-                break
-            rf_options.append(srcs)
-        if not feasible:
+        rf_options = _feasible_rf_options(graph, stats)
+        if rf_options is None:
             continue
 
-        base_edges = _forced_co_base(graph)
         write_ids = {
             loc: [w.eid for w in writes]
             for loc, writes in graph.writes_by_loc.items()
         }
 
-        for rf_choice in _rf_assignments(graph.reads, rf_options, stats):
+        for rf_choice, forced in RfSearch(graph, rf_options, model,
+                                          stats):
             stats.rf_choices += 1
-            forced = _forced_co(graph, base_edges, rf_choice)
-            if forced is None:
-                stats.rf_rejected_coherence += 1
-                continue
             rf = Rel(
                 (src, rd.eid) for src, rd in zip(rf_choice, graph.reads)
             )
-            partial_co = Rel(frozenset().union(
-                *(rel.pairs for rel in forced.values())
-            )) if forced else Rel()
-            precheck = Execution(
-                events=graph.events, po=graph.po, rf=rf, co=partial_co,
-                data=graph.data, ctrl=graph.ctrl, regs=graph.regs,
-            )
-            if not model.rf_stage_consistent(precheck):
-                stats.rf_rejected_precheck += 1
-                continue
-
             ext_per_loc = [
                 list(linear_extensions(write_ids[loc],
                                        forced[loc].pairs))
                 for loc in graph.locations
             ]
-            # A finite poset has a unique linear extension exactly when
-            # it is already total — then co equals the prechecked
-            # partial order: the full recheck is redundant and the
-            # precheck execution *is* the candidate, no rebuild needed.
-            if all(len(exts) == 1 for exts in ext_per_loc):
-                produced += 1
-                stats.executions_enumerated += 1
-                if produced > limit:
-                    raise ModelError(
-                        f"{program.name}: candidate executions exceed "
-                        f"limit {limit}"
-                    )
-                stats.consistent += 1
-                yield precheck
-                continue
             for co_parts in itertools.product(*ext_per_loc):
                 produced += 1
                 stats.executions_enumerated += 1
@@ -700,6 +671,10 @@ def _enumerate_staged(program: Program, model, limit: int,
                     events=graph.events, po=graph.po, rf=rf, co=co,
                     data=graph.data, ctrl=graph.ctrl, regs=graph.regs,
                 )
+                # rf_stage_consistent is only a monotone *precheck* —
+                # even when the forced order is already total, the full
+                # axioms must judge the candidate (a model's precheck
+                # may be strictly weaker than is_consistent).
                 if model.is_consistent(ex):
                     stats.consistent += 1
                     yield ex
@@ -775,8 +750,48 @@ def consistent_executions(program: Program, model,
     ]
 
 
-def behaviors(program: Program, model,
-              limit: int | None = None) -> frozenset:
+#: Environment override for the enumeration strategy behind
+#: :func:`behaviors`: ``dpor`` (default — DFS + symmetry + coherence
+#: classes), ``staged`` (the DFS without the representative-mode
+#: reductions, materializing every consistent execution) or ``naive``
+#: (the full cross product, the differential oracle).
+REDUCTION_ENV = "REPRO_ENUM_REDUCTION"
+REDUCTIONS = ("dpor", "staged", "naive")
+
+
+def resolve_reduction(reduction: str | None) -> str:
+    """Validate a reduction mode, defaulting from the environment."""
+    if reduction is None:
+        reduction = os.environ.get(REDUCTION_ENV, "").strip().lower() \
+            or "dpor"
+    if reduction not in REDUCTIONS:
+        raise ModelError(
+            f"unknown enumeration reduction {reduction!r}; expected "
+            f"one of {REDUCTIONS}")
+    return reduction
+
+
+def _enumerate_behaviors(program: Program, model, limit: int | None,
+                         reduction: str | None) -> frozenset:
+    """Behaviour set via the chosen reduction (no caching)."""
+    mode = resolve_reduction(reduction)
+    if mode == "dpor":
+        from .dpor import reduced_behaviors
+        return reduced_behaviors(program, model, limit=limit)
+    if mode == "staged":
+        return frozenset(
+            ex.full_behavior
+            for ex in consistent_executions(program, model, limit=limit)
+        )
+    return frozenset(
+        ex.full_behavior
+        for ex in consistent_executions(program, model, limit=limit,
+                                        staged=False)
+    )
+
+
+def behaviors(program: Program, model, limit: int | None = None,
+              reduction: str | None = None) -> frozenset:
     """The set of ``full_behavior`` values of consistent executions.
 
     Results are memoized in-process and persisted on disk: programs are
@@ -786,6 +801,12 @@ def behaviors(program: Program, model,
     ``model.name`` alone is not trusted, as ablation-built variants
     legitimately reuse standard names.  A cached result is returned
     without re-enumerating, so ``limit`` only takes effect on misses.
+
+    ``reduction`` picks the enumeration strategy on a miss (see
+    :data:`REDUCTIONS`; default ``dpor``, overridable via
+    :data:`REDUCTION_ENV`).  All strategies compute the identical set —
+    the differential tests pin that — so cache entries are shared
+    across modes.
     """
     key = (program, behavior_cache.model_fingerprint(model))
     cached = _BEHAVIOR_CACHE.get(key)
@@ -797,11 +818,8 @@ def behaviors(program: Program, model,
         else:
             if behavior_cache.enabled():
                 _CACHE_STATS.disk_misses += 1
-            cached = frozenset(
-                ex.full_behavior
-                for ex in consistent_executions(program, model,
-                                                limit=limit)
-            )
+            cached = _enumerate_behaviors(program, model, limit,
+                                          reduction)
             behavior_cache.store(program, model, cached)
         _BEHAVIOR_CACHE[key] = cached
     else:

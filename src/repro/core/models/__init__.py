@@ -29,6 +29,12 @@ ARM_ORIGINAL = ArmModel(corrected=False)
 TCG = TCGModel()
 SC = SCModel()
 
+#: Name -> singleton, for CLI/run-spec surfaces that address models by
+#: their stable cache identifier.
+MODEL_BY_NAME: dict[str, MemoryModel] = {
+    m.name: m for m in (X86, ARM, ARM_ORIGINAL, TCG, SC)
+}
+
 __all__ = [
     "MemoryModel",
     "X86Model",
@@ -40,4 +46,5 @@ __all__ = [
     "ARM_ORIGINAL",
     "TCG",
     "SC",
+    "MODEL_BY_NAME",
 ]

@@ -23,11 +23,16 @@ class MemoryModel(abc.ABC):
     arch: Arch
     #: Whether the staged enumerator may use this model's
     #: :meth:`rf_stage_consistent` as an early filter.  True requires
-    #: every axiom to be *monotone* in co (and hence fr = rf⁻¹;co):
-    #: adding co edges can only add edges to the checked relations, so a
-    #: cycle found under a partial co persists under every extension.
-    #: Set to False in a subclass whose axioms inspect co
-    #: non-monotonically (e.g. count co-maximal writes).
+    #: every axiom to be *monotone* in both rf and co (and hence in
+    #: fr = rf⁻¹;co): adding rf or co edges can only add edges to the
+    #: checked relations, so a cycle found under a partial assignment
+    #: persists under every extension.  The DPOR search leans on the rf
+    #: half too — it runs the precheck on *partial* rf assignments to
+    #: cut whole subtrees, and its sleep sets replay rejections under
+    #: supersets of the rejecting footprint.  Set to False in a
+    #: subclass whose axioms inspect rf or co non-monotonically (e.g.
+    #: count co-maximal writes, or require a read to have *no* external
+    #: source).
     supports_staged: bool = True
 
     @abc.abstractmethod
@@ -35,13 +40,19 @@ class MemoryModel(abc.ABC):
         """True when ``ex`` satisfies every axiom of the model."""
 
     def rf_stage_consistent(self, ex: Execution) -> bool:
-        """Precheck for the staged enumerator, before co is enumerated.
+        """Precheck for the staged/DPOR enumerators, before co (and
+        possibly before the full rf) is enumerated.
 
-        ``ex.co`` holds only the *forced* coherence edges implied by the
-        rf choice (init-first, same-thread write order, observed-write
-        obligations) — a sound subset of every compatible full co.  With
-        monotone axioms, rejecting here rejects every extension, so an
-        inconsistent rf choice never reaches the co product.
+        ``ex.rf`` may cover only a *prefix* of the reads, and ``ex.co``
+        holds only the *forced* coherence edges implied by the choices
+        so far (init-first, same-thread write order, observed-write
+        obligations) — a sound subset of every compatible completion.
+        With monotone axioms, rejecting here rejects every extension,
+        so an inconsistent prefix never reaches the co product.
+
+        This is a monotone *precheck*, never exact: a passing partial
+        (or even complete-rf) execution still needs the full
+        :meth:`is_consistent` verdict once a total co is materialized.
         """
         return self.is_consistent(ex)
 

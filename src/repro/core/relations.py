@@ -280,3 +280,22 @@ def linear_extensions(elements: list[int], partial: Iterable[Pair]):
                 indeg[e] = 0
 
     yield from rec()
+
+
+def linear_extensions_with_last(elements: list[int],
+                                partial: Iterable[Pair], last: int):
+    """Linear extensions of ``partial`` that place ``last`` at the end.
+
+    Equivalent to :func:`linear_extensions` with the extra constraints
+    ``(e, last)`` for every other element — so a ``last`` that the
+    partial order already forces before some element yields nothing.
+    The coherence-class search uses this to ask "is there a total co
+    where *this* write wins the location?" without filtering the full
+    extension set.
+    """
+    members = set(elements)
+    if last not in members:
+        return
+    extra = [(e, last) for e in elements if e != last]
+    yield from linear_extensions(
+        elements, list(partial) + extra)

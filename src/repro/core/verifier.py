@@ -21,6 +21,7 @@ fence class breaks some corpus test).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..errors import ModelError
@@ -88,7 +89,10 @@ def check_translation(source: Program, target: Program,
                       src_model: MemoryModel, tgt_model: MemoryModel,
                       test: LitmusTest | None = None,
                       mapping_name: str = "?",
-                      limit: int | None = None) -> MappingVerdict:
+                      limit: int | None = None,
+                      *,
+                      allow_extra_target_keys: bool = False
+                      ) -> MappingVerdict:
     """Theorem 1 via behaviour-set inclusion.
 
     Register observations are projected to the registers common to both
@@ -96,6 +100,15 @@ def check_translation(source: Program, target: Program,
     (e.g. FMR's RAW elimination) remain comparable.  ``limit`` adjusts
     the candidate-enumeration safety valve for *both* programs — mapped
     targets blow up faster than their sources.
+
+    Projection is only sound in the source direction: keys the *target*
+    alone observes would be silently erased, so a mapping that renames
+    an observed register (or invents a fresh observable) could corrupt
+    it undetected.  Target-only keys therefore raise unless the caller
+    opts out with ``allow_extra_target_keys=True`` (which still warns) —
+    the opt-out is for deliberate comparisons of a target that observes
+    strictly more, never for mapped lowerings, which must preserve the
+    source's observables key-for-key.
     """
     tracer = get_tracer()
     with tracer.span("verify.source_behaviors", cat="verify",
@@ -117,6 +130,20 @@ def check_translation(source: Program, target: Program,
             f"and target share no behaviour keys; inclusion would pass "
             f"vacuously"
         )
+    extra_tgt = tgt_keys - common
+    if extra_tgt:
+        # Target-only observables would be projected away before the
+        # inclusion check — a renamed or invented observed register
+        # could carry any value and still "pass".
+        detail = (
+            f"{source.name} vs {target.name} ({mapping_name}): target "
+            f"observes keys the source never does "
+            f"({', '.join(sorted(extra_tgt))}); projecting them away "
+            f"would hide corrupted observables"
+        )
+        if not allow_extra_target_keys:
+            raise ModelError(detail)
+        warnings.warn(detail, stacklevel=2)
 
     src_proj = frozenset(_project(b, common) for b in src_behs)
     new = frozenset(
@@ -203,13 +230,31 @@ def check_annotations(test: LitmusTest, model: MemoryModel,
 # ----------------------------------------------------------------------
 def drop_fences(mapping: OpMapping, kinds: frozenset[Fence],
                 suffix: str) -> OpMapping:
-    """A weakened mapping that omits the given fence kinds."""
+    """A weakened mapping that omits the given fence kinds.
+
+    The strip recurses into ``If`` arms: a lowering may place fences
+    inside a mapped conditional (MPQ-style RMW guards do), and leaving
+    those behind would overstate fence necessity on branchy programs —
+    the ablation would report "broken without the fence" while the
+    fence was in fact still there.
+    """
+
+    def strip(ops: tuple[Op, ...]) -> tuple[Op, ...]:
+        out = []
+        for mapped in ops:
+            if isinstance(mapped, FenceOp) and mapped.kind in kinds:
+                continue
+            if isinstance(mapped, If):
+                mapped = If(
+                    mapped.reg, mapped.value,
+                    then_ops=strip(mapped.then_ops),
+                    else_ops=strip(mapped.else_ops),
+                )
+            out.append(mapped)
+        return tuple(out)
 
     def weakened(op: Op) -> tuple[Op, ...]:
-        return tuple(
-            mapped for mapped in mapping.map_op(op)
-            if not (isinstance(mapped, FenceOp) and mapped.kind in kinds)
-        )
+        return strip(tuple(mapping.map_op(op)))
 
     return OpMapping(
         name=f"{mapping.name}-minus-{suffix}",

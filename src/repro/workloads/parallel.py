@@ -28,12 +28,15 @@ pool, used as the reference in determinism tests.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 
-from ..core.enumerate import behavior_cache_stats, enumeration_stats
+from ..core.enumerate import EnumerationStats, behavior_cache_stats, \
+    enumeration_stats
 from ..errors import ReproError
 from ..machine.timing import CostModel
 from ..obs.metrics import MetricsRegistry
@@ -76,7 +79,7 @@ class RunSpec:
     populated, selected by ``kind``.
     """
 
-    kind: str                     # "kernel" | "library" | "cas" | "ablation"
+    kind: str   # "kernel" | "library" | "cas" | "ablation" | "verify"
     benchmark: str
     variant: str = "risotto"
     seed: int = 7
@@ -102,6 +105,16 @@ class RunSpec:
     cas: CasConfig | None = None
     # kind == "ablation" (benchmark doubles as the registry key)
     ablation: str | None = None
+    # kind == "verify" (benchmark is the litmus-test name)
+    #: model name per :data:`repro.core.models.MODEL_BY_NAME`.
+    model: str | None = None
+    #: enumeration reduction: "dpor" | "staged" | "naive".
+    reduction: str = "dpor"
+    #: candidate-materialization limit (None = enumerator default).
+    enum_limit: int | None = None
+    #: go through :func:`repro.core.behaviors` (memo + disk cache)
+    #: instead of enumerating directly.
+    use_cache: bool = False
 
 
 @dataclass
@@ -151,6 +164,13 @@ class RunRow:
     enum_executions: int = 0
     enum_rf_pruned: int = 0
     enum_rf_rejected: int = 0
+    #: reduction counters (litmus ablations/verify rows): consistent
+    #: executions found, sleep-set skips, symmetric trace combos
+    #: collapsed, and coherence classes explored by the DPOR search.
+    enum_consistent: int = 0
+    enum_sleep_skips: int = 0
+    enum_symmetry_collapsed: int = 0
+    enum_co_classes: int = 0
     #: translation-cache counters (machine workloads; zero for litmus
     #: ablations).  ``xlat_misses`` counts actual frontend+optimizer+
     #: backend pipeline runs — a fully warm run reports 0 — while
@@ -287,6 +307,31 @@ def _run_metrics(spec: RunSpec, row: RunRow) -> dict:
     return reg.snapshot()
 
 
+def _enum_delta(before: EnumerationStats,
+                after: EnumerationStats) -> EnumerationStats:
+    """Field-wise ``after - before`` over every counter."""
+    return EnumerationStats(**{
+        f.name: getattr(after, f.name) - getattr(before, f.name)
+        for f in dataclasses.fields(EnumerationStats)
+    })
+
+
+def _enum_fields(run: EnumerationStats) -> dict:
+    """EnumerationStats -> the ``enum_*`` RunRow kwargs."""
+    return dict(
+        enum_candidates_naive=run.candidates_naive,
+        enum_executions=run.executions_enumerated,
+        enum_rf_pruned=run.rf_options_pruned,
+        enum_rf_rejected=(run.rf_rejected_rmw
+                          + run.rf_rejected_coherence
+                          + run.rf_rejected_precheck),
+        enum_consistent=run.consistent,
+        enum_sleep_skips=run.rf_sleep_skips,
+        enum_symmetry_collapsed=run.symmetry_collapsed,
+        enum_co_classes=run.co_classes,
+    )
+
+
 def _run_ablation(spec: RunSpec, started: float) -> RunRow:
     from ..core.ablations import run_named_ablation
 
@@ -294,7 +339,7 @@ def _run_ablation(spec: RunSpec, started: float) -> RunRow:
     enum_before = enumeration_stats()
     result = run_named_ablation(spec.ablation or spec.benchmark)
     after = behavior_cache_stats()
-    enum_after = enumeration_stats()
+    run = _enum_delta(enum_before, enumeration_stats())
     return RunRow(
         benchmark=spec.benchmark,
         variant=spec.variant,
@@ -303,20 +348,91 @@ def _run_ablation(spec: RunSpec, started: float) -> RunRow:
         cache_misses=after.misses - before.misses,
         cache_disk_hits=after.disk_hits - before.disk_hits,
         cache_disk_misses=after.disk_misses - before.disk_misses,
-        enum_candidates_naive=(enum_after.candidates_naive
-                               - enum_before.candidates_naive),
-        enum_executions=(enum_after.executions_enumerated
-                         - enum_before.executions_enumerated),
-        enum_rf_pruned=(enum_after.rf_options_pruned
-                        - enum_before.rf_options_pruned),
-        enum_rf_rejected=(
-            (enum_after.rf_rejected_rmw
-             + enum_after.rf_rejected_coherence
-             + enum_after.rf_rejected_precheck)
-            - (enum_before.rf_rejected_rmw
-               + enum_before.rf_rejected_coherence
-               + enum_before.rf_rejected_precheck)),
         payload=tuple(result.broken_tests),
+        **_enum_fields(run),
+    )
+
+
+def _behavior_digest(behs: frozenset) -> str:
+    """A short, canonical digest of a behaviour set.
+
+    Every shard computes this independently, so equal digests across
+    worker layouts (or reductions) certify bit-identical behaviour
+    sets without shipping the sets themselves through the pool.
+    """
+    canonical = sorted(sorted(b) for b in behs)
+    return hashlib.sha256(repr(canonical).encode()).hexdigest()[:16]
+
+
+def _run_verify(spec: RunSpec, started: float) -> RunRow:
+    """One sharded-verification cell: enumerate the behaviours of one
+    litmus test under one model with the requested reduction."""
+    from ..core.corpus_large import verify_registry
+    from ..core.dpor import reduced_behaviors
+    from ..core.enumerate import behaviors, enumerate_consistent, \
+        enumerate_executions, resolve_reduction
+    from ..core.models import MODEL_BY_NAME
+
+    registry = verify_registry()
+    try:
+        test = registry[spec.benchmark]
+    except KeyError:
+        raise ReproError(
+            f"unknown litmus test {spec.benchmark!r}; expected one of "
+            f"{sorted(registry)}") from None
+    model_name = spec.model or "x86-tso"
+    try:
+        model = MODEL_BY_NAME[model_name]
+    except KeyError:
+        raise ReproError(
+            f"unknown model {model_name!r}; expected one of "
+            f"{sorted(MODEL_BY_NAME)}") from None
+    mode = resolve_reduction(spec.reduction)
+
+    cache_before = behavior_cache_stats()
+    run = EnumerationStats()
+    if spec.use_cache:
+        # behaviors() merges its counters into the module-wide stats;
+        # recover this run's share as a before/after delta.  A cache
+        # hit legitimately reports zero enumeration work.
+        enum_before = enumeration_stats()
+        behs = behaviors(test.program, model, limit=spec.enum_limit,
+                         reduction=mode)
+        run = _enum_delta(enum_before, enumeration_stats())
+    elif mode == "dpor":
+        behs = reduced_behaviors(test.program, model,
+                                 limit=spec.enum_limit, stats=run)
+    elif mode == "staged":
+        kwargs = {} if spec.enum_limit is None \
+            else {"limit": spec.enum_limit}
+        behs = frozenset(
+            ex.full_behavior
+            for ex in enumerate_consistent(test.program, model,
+                                           stats=run, **kwargs)
+        )
+    else:  # naive
+        kwargs = {} if spec.enum_limit is None \
+            else {"limit": spec.enum_limit}
+        out = set()
+        for ex in enumerate_executions(test.program, stats=run,
+                                       **kwargs):
+            if model.is_consistent(ex):
+                run.consistent += 1
+                out.add(ex.full_behavior)
+        behs = frozenset(out)
+    cache_after = behavior_cache_stats()
+
+    return RunRow(
+        benchmark=spec.benchmark,
+        variant=spec.variant,
+        wall_seconds=time.perf_counter() - started,
+        cache_hits=cache_after.hits - cache_before.hits,
+        cache_misses=cache_after.misses - cache_before.misses,
+        cache_disk_hits=cache_after.disk_hits - cache_before.disk_hits,
+        cache_disk_misses=(cache_after.disk_misses
+                           - cache_before.disk_misses),
+        payload=(_behavior_digest(behs), len(behs)),
+        **_enum_fields(run),
     )
 
 
@@ -351,6 +467,10 @@ def execute_spec(spec: RunSpec) -> RunRow:
                                     buffer_mode=spec.buffer_mode)
     elif spec.kind == "ablation":
         row = _run_ablation(spec, started)
+        row.metrics = _run_metrics(spec, row)
+        return row
+    elif spec.kind == "verify":
+        row = _run_verify(spec, started)
         row.metrics = _run_metrics(spec, row)
         return row
     else:

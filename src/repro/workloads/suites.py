@@ -135,3 +135,31 @@ def ablation_grid(labels):
                 ablation=label)
         for label in labels
     )
+
+
+def verify_grid(tests=None, models: tuple[str, ...] = ("x86-tso",),
+                *, reduction: str = "dpor",
+                enum_limit: int | None = None,
+                use_cache: bool = False, seed: int = 7):
+    """Sharded-verification specs: one cell per (litmus test × model).
+
+    ``tests`` is an iterable of litmus-test names (default: the classic
+    corpus plus the 5-thread fixtures, i.e. every test the registry
+    knows); ``models`` are :data:`repro.core.models.MODEL_BY_NAME`
+    keys.  Each cell enumerates independently, so the grid shards
+    perfectly over :func:`~repro.workloads.parallel.run_parallel` —
+    corpus-level verification wall time is bounded by the slowest
+    single test, not the sum.
+    """
+    from ..core.corpus_large import verify_registry
+    from .parallel import RunSpec
+
+    if tests is None:
+        tests = tuple(verify_registry())
+    return tuple(
+        RunSpec(kind="verify", benchmark=test,
+                variant=f"{model}/{reduction}", seed=seed,
+                model=model, reduction=reduction,
+                enum_limit=enum_limit, use_cache=use_cache)
+        for test in tests for model in models
+    )

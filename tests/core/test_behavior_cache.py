@@ -185,3 +185,84 @@ class TestDiskLayer:
 
     def test_cache_dir_override(self, disk_cache):
         assert behavior_cache.cache_dir() == disk_cache
+
+
+class TestNamespaces:
+    def test_namespace_becomes_a_subdirectory(self, disk_cache,
+                                              monkeypatch):
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "shard-3")
+        assert behavior_cache.cache_dir() == disk_cache / "shard-3"
+
+    def test_unset_or_blank_namespace_is_the_root(self, disk_cache,
+                                                  monkeypatch):
+        monkeypatch.delenv(behavior_cache.NAMESPACE_ENV,
+                           raising=False)
+        assert behavior_cache.cache_dir() == disk_cache
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "   ")
+        assert behavior_cache.cache_dir() == disk_cache
+
+    def test_traversal_characters_cannot_escape(self, disk_cache,
+                                                monkeypatch):
+        # Separators are stripped; a name reduced to dots is dropped
+        # entirely, so "../evil" cannot become a parent reference.
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "../evil")
+        assert behavior_cache.cache_dir() == disk_cache / "..evil"
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "..")
+        assert behavior_cache.cache_dir() == disk_cache
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "a/b\\c")
+        assert behavior_cache.cache_dir() == disk_cache / "abc"
+
+    def test_namespaces_do_not_share_entries(self, disk_cache,
+                                             monkeypatch):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "left")
+        first = behaviors(prog, X86)
+        assert list((disk_cache / "left").glob("*.json"))
+
+        # The other namespace starts cold: the same program misses on
+        # disk and re-enumerates into its own directory.
+        clear_behavior_cache()
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "right")
+        assert behavior_cache.load(prog, X86) is None
+        again = behaviors(prog, X86)
+        assert again == first
+        assert list((disk_cache / "right").glob("*.json"))
+
+    def test_clear_touches_only_the_active_namespace(self, disk_cache,
+                                                     monkeypatch):
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "keep")
+        behaviors(prog, X86)
+        clear_behavior_cache()
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "drop")
+        behaviors(prog, X86)
+        assert behavior_cache.clear_disk_cache() == 1
+        assert list((disk_cache / "keep").glob("*.json"))
+        assert not list((disk_cache / "drop").glob("*.json"))
+
+    def test_concurrent_writers_in_one_namespace_are_safe(
+            self, disk_cache, monkeypatch):
+        import threading
+
+        monkeypatch.setenv(behavior_cache.NAMESPACE_ENV, "shared")
+        prog = x86("p", (W("X", 1),), (R("a", "X"),))
+        expected = behaviors(prog, X86)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    behavior_cache.store(prog, X86, expected)
+                    loaded = behavior_cache.load(prog, X86)
+                    if loaded is not None and loaded != expected:
+                        errors.append(loaded)
+            except Exception as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert behavior_cache.load(prog, X86) == expected

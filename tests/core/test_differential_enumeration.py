@@ -137,3 +137,63 @@ class TestStrictReduction:
                          stats=stats)
         assert stats.executions_enumerated < stats.candidates_naive
         assert stats.pruned_fraction > 0.0
+
+
+def reduced_behaviors_of(program, model, stats=None) -> frozenset:
+    from repro.core.dpor import reduced_behaviors
+
+    return reduced_behaviors(program, model, stats=stats)
+
+
+class TestReducedDifferential:
+    """DPOR + symmetry + coherence classes == naive, always-on slice.
+
+    The reduced path keeps only canonical trace combos and one witness
+    per coherence value class, then closes behaviours under the thread
+    renamings — so bit-identical behaviour sets are the whole
+    soundness claim, checked against the same oracle the staged path
+    answers to.
+    """
+
+    @pytest.mark.parametrize("model", list(PAPER_MODELS.values()),
+                             ids=list(PAPER_MODELS))
+    @pytest.mark.parametrize("name", FAST_SUBSET)
+    def test_reduced_matches_naive(self, name, model):
+        program = ALL_TESTS[name].program
+        stats = EnumerationStats()
+        reduced = reduced_behaviors_of(program, model, stats=stats)
+        naive = naive_behaviors(program, model)
+        assert reduced == naive, (
+            f"{name} under {model.name}: reduced behaviours diverge "
+            f"from the naive oracle\n"
+            f"  reduced-only: {reduced - naive}\n"
+            f"  naive-only:   {naive - reduced}"
+        )
+        assert stats.executions_enumerated <= stats.candidates_naive
+
+    def test_sc_model_agrees_too(self):
+        program = ALL_TESTS["CoRR"].program
+        assert reduced_behaviors_of(program, SC) == \
+            naive_behaviors(program, SC)
+
+    def test_five_thread_corpus_where_naive_is_feasible(self):
+        from repro.core.corpus_large import CAS5, IRIW5, MP_CHAIN5, \
+            SB5_RING
+
+        for test in (IRIW5, CAS5, MP_CHAIN5, SB5_RING):
+            reduced = reduced_behaviors_of(test.program, X86)
+            assert reduced == naive_behaviors(test.program, X86), \
+                test.name
+
+
+@pytest.mark.slow
+class TestReducedDifferentialExhaustive:
+    """Every litmus program × every paper model, reduced == naive."""
+
+    @pytest.mark.parametrize("model_name", list(PAPER_MODELS))
+    @pytest.mark.parametrize("name", sorted(ALL_TESTS))
+    def test_reduced_matches_naive(self, name, model_name):
+        model = PAPER_MODELS[model_name]
+        program = ALL_TESTS[name].program
+        assert reduced_behaviors_of(program, model) == \
+            naive_behaviors(program, model)

@@ -1,0 +1,321 @@
+"""Unit tests for the source-DPOR reduction layer.
+
+:mod:`repro.core.dpor` claims three reductions — sleep sets over the
+rf DFS, thread-symmetry collapse of trace combos, and coherence value
+classes with a single linear-extension witness — and each is exercised
+here on a program *constructed* to trigger it, with the naive
+rf × co cross product as the oracle.  The module also pins the two
+enumerator soundness fixes: the staged unique-extension shortcut must
+run the full consistency check (not just the precheck), and the
+``supports_staged=False`` fallback must account statistics like the
+fast path does.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import SC, X86
+from repro.core.corpus_large import (
+    CAS5,
+    FIVE_THREAD_CORPUS,
+    IRIW5,
+    W4_2RR,
+    W5_RR,
+)
+from repro.core.dpor import (
+    RfSearch,
+    _is_canonical,
+    _orbit_size,
+    _rename_behavior,
+    _tid_renamings,
+    reduced_behaviors,
+    thread_symmetry_classes,
+)
+from repro.core.enumerate import (
+    EnumerationStats,
+    enumerate_consistent,
+    enumerate_executions,
+    enumeration_stats,
+    reset_enumeration_stats,
+)
+from repro.errors import ModelError
+from repro.core.litmus_library import ALL_TESTS, R, W, x86
+from repro.core.models.x86tso import X86Model
+from repro.core.verifier import check_annotations
+
+
+def naive_behaviors(program, model) -> frozenset:
+    return frozenset(
+        ex.full_behavior for ex in enumerate_executions(program)
+        if model.is_consistent(ex)
+    )
+
+
+def reduced(program, model, stats=None, limit=None) -> frozenset:
+    return reduced_behaviors(program, model, limit=limit, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# Sleep sets
+# ----------------------------------------------------------------------
+
+#: Crafted so a coherence rejection carries a *cross-thread* footprint:
+#: with c=1, a=2, b=1 the assignment a←(T2's write) forces
+#: co(W X 2, W X 1) inside T1, while b←(T1's write) forces the reverse
+#: edge inside T2 — an immediate forced-co cycle whose footprint is
+#: just {a's choice}.  The Y reader (two identical Y writers give it
+#: two options) sits first in the most-constrained-first order, so
+#: after it backtracks the same (b, src) pair comes up again under an
+#: unchanged footprint and must be sleep-skipped, not re-derived.
+SLEEP_CYCLE = x86(
+    "sleep-cycle",
+    (R("c", "Y"),),
+    (R("a", "X"), W("X", 1)),
+    (R("b", "X"), W("X", 2)),
+    (W("X", 1),),
+    (W("X", 2),),
+    (W("Y", 1),),
+    (W("Y", 1),),
+)
+
+
+class TestSleepSets:
+    def test_coherence_rejections_are_sleep_skipped(self):
+        stats = EnumerationStats()
+        behs = reduced(SLEEP_CYCLE, X86, stats=stats)
+        assert stats.rf_rejected_coherence >= 1
+        assert stats.rf_sleep_skips >= 1
+        assert behs == naive_behaviors(SLEEP_CYCLE, X86)
+
+    def test_sleep_skip_never_loses_behaviours_under_sc(self):
+        stats = EnumerationStats()
+        behs = reduced(SLEEP_CYCLE, SC, stats=stats)
+        assert behs == naive_behaviors(SLEEP_CYCLE, SC)
+
+
+# ----------------------------------------------------------------------
+# Partial-rf prefix prechecks
+# ----------------------------------------------------------------------
+
+#: Two writers plus a four-read reader: with a=1, b=0 the second read
+#: observes init *behind* the first read's writer — an sc-per-loc
+#: cycle over {rf, po_loc, fr} that is complete while the two Y reads
+#: are still unassigned, so the precheck must cut the subtree above
+#: the leaves.
+PREFIX_CUT = x86(
+    "prefix-cut",
+    (W("X", 1),),
+    (W("Y", 1),),
+    (R("a", "X"), R("b", "X"), R("c", "Y"), R("d", "Y")),
+)
+
+
+class TestPrefixPrecheck:
+    def test_inconsistent_prefix_cuts_above_leaves(self):
+        stats = EnumerationStats()
+        behs = reduced(PREFIX_CUT, X86, stats=stats)
+        assert stats.rf_prefix_rejected >= 1
+        assert stats.rf_rejected_precheck >= stats.rf_prefix_rejected
+        assert behs == naive_behaviors(PREFIX_CUT, X86)
+
+    def test_search_yields_only_precheck_passing_leaves(self):
+        # Every leaf the DFS yields already passed the full-rf
+        # precheck; none of them should be a coherence-forced cycle.
+        from repro.core.enumerate import (
+            _feasible_rf_options,
+            _materialize_combo,
+            _trace_sets,
+        )
+        import itertools
+        program = PREFIX_CUT
+        per_thread, locations = _trace_sets(program)
+        for combo in itertools.product(*per_thread):
+            graph = _materialize_combo(program, locations, combo)
+            options = _feasible_rf_options(graph, EnumerationStats())
+            if options is None:
+                continue
+            for _rf_choice, closed in RfSearch(
+                    graph, options, X86, EnumerationStats()):
+                for rel in closed.values():
+                    assert rel.is_irreflexive()
+
+
+# ----------------------------------------------------------------------
+# RMW cuts
+# ----------------------------------------------------------------------
+class TestRmwCuts:
+    def test_cas5_rmw_sources_are_cut_in_search(self):
+        stats = EnumerationStats()
+        behs = reduced(CAS5.program, X86, stats=stats)
+        assert stats.rf_rejected_rmw >= 1
+        assert behs == naive_behaviors(CAS5.program, X86)
+        # Exactly one CAS can win from 0; the annotation agrees.
+        assert not check_annotations(CAS5, X86)
+
+
+# ----------------------------------------------------------------------
+# Thread symmetry
+# ----------------------------------------------------------------------
+class TestThreadSymmetry:
+    def test_identical_threads_form_one_class(self):
+        classes = thread_symmetry_classes(W5_RR.program)
+        assert classes == ((0, 1, 2, 3, 4),)
+
+    def test_distinct_threads_form_no_class(self):
+        assert thread_symmetry_classes(ALL_TESTS["MP"].program) == ()
+
+    def test_canonical_combos_are_nondecreasing_per_class(self):
+        classes = ((0, 1, 2),)
+        assert _is_canonical((0, 0, 1), classes)
+        assert not _is_canonical((1, 0, 0), classes)
+
+    def test_orbit_size_is_multinomial(self):
+        classes = ((0, 1, 2),)
+        # (0, 0, 1): three arrangements of {0, 0, 1}.
+        assert _orbit_size((0, 0, 1), classes) == 3
+        assert _orbit_size((0, 0, 0), classes) == 1
+        assert _orbit_size((0, 1, 2), classes) == 6
+
+    def test_renamings_cover_the_permutation_group(self):
+        renamings = _tid_renamings(((1, 2),))
+        moved = {
+            frozenset((k, v) for k, v in m.items() if k != v)
+            for m in renamings
+        }
+        assert moved == {frozenset(), frozenset({(1, 2), (2, 1)})}
+        assert _tid_renamings(()) == [{}]
+
+    def test_rename_behavior_rewrites_register_keys_only(self):
+        beh = frozenset({("T0:a", 1), ("X", 2)})
+        assert _rename_behavior(beh, {0: 1}) == \
+            frozenset({("T1:a", 1), ("X", 2)})
+
+    def test_iriw5_collapses_symmetric_combos(self):
+        stats = EnumerationStats()
+        behs = reduced(IRIW5.program, X86, stats=stats)
+        assert stats.symmetry_collapsed > 0
+        assert behs == naive_behaviors(IRIW5.program, X86)
+
+    def test_orbit_scaling_preserves_naive_candidate_count(self):
+        # candidates_naive must count the *full* space, not just the
+        # canonical representatives, or pruned fractions would lie.
+        sym = EnumerationStats()
+        reduced(IRIW5.program, X86, stats=sym)
+        plain = EnumerationStats()
+        list(enumerate_executions(IRIW5.program, stats=plain))
+        assert sym.candidates_naive == plain.candidates_naive
+
+
+# ----------------------------------------------------------------------
+# Coherence value classes and the candidate limit
+# ----------------------------------------------------------------------
+class TestCoherenceClasses:
+    def test_w5_rr_completes_under_a_limit_staged_cannot(self):
+        stats = EnumerationStats()
+        behs = reduced(W5_RR.program, X86, stats=stats, limit=1000)
+        assert behs  # completed
+        assert stats.executions_enumerated <= 1000
+        assert stats.co_classes >= 1
+        with pytest.raises(ModelError, match="exceed limit"):
+            list(enumerate_consistent(W5_RR.program, X86, limit=1000))
+
+    def test_materialization_is_at_least_10x_below_naive(self):
+        stats = EnumerationStats()
+        reduced(W4_2RR.program, X86, stats=stats)
+        assert stats.candidates_naive \
+            >= 10 * max(1, stats.executions_enumerated)
+
+
+# ----------------------------------------------------------------------
+# Bugfix regressions: the enumerator soundness fixes
+# ----------------------------------------------------------------------
+class WeakPrecheckX86(X86Model):
+    """Strictly weaker staged precheck: accepts everything.
+
+    A model like this is *allowed* — ``rf_stage_consistent`` is a
+    monotone precheck, never exact — so the staged unique-extension
+    shortcut must still run the full ``is_consistent`` on the single
+    materialized extension.  Before the fix it counted the candidate
+    consistent on the precheck alone, admitting TSO-forbidden
+    behaviours whenever only one coherence order existed.
+    """
+
+    name = "x86-weak-precheck"
+
+    def rf_stage_consistent(self, ex) -> bool:
+        return True
+
+
+class UnstagedX86(X86Model):
+    """An x86 judge that opts out of the staged fast path."""
+
+    name = "x86-unstaged"
+    supports_staged = False
+
+
+class TestSoundnessFixes:
+    @pytest.mark.parametrize("name", ["SB+mfences", "CoWR", "MP"])
+    def test_weak_precheck_still_gets_full_final_check(self, name):
+        program = ALL_TESTS[name].program
+        weak = WeakPrecheckX86()
+        staged = frozenset(
+            ex.full_behavior
+            for ex in enumerate_consistent(program, weak)
+        )
+        assert staged == naive_behaviors(program, weak)
+        assert staged == naive_behaviors(program, X86)
+
+    def test_weak_precheck_reduced_path_agrees_too(self):
+        program = ALL_TESTS["SB+mfences"].program
+        weak = WeakPrecheckX86()
+        assert reduced(program, weak) == naive_behaviors(program, X86)
+
+    def test_unstaged_fallback_accounts_stats(self):
+        program = ALL_TESTS["MP"].program
+        run = EnumerationStats()
+        reset_enumeration_stats()
+        behs = frozenset(
+            ex.full_behavior
+            for ex in enumerate_consistent(program, UnstagedX86(),
+                                           stats=run)
+        )
+        assert behs == naive_behaviors(program, X86)
+        for field in ("combos", "candidates_naive",
+                      "executions_enumerated", "consistent"):
+            assert getattr(run, field) > 0, field
+        merged = enumeration_stats()
+        assert merged.executions_enumerated \
+            >= run.executions_enumerated
+
+    def test_unstaged_fallback_in_reduced_behaviors(self):
+        program = ALL_TESTS["MP"].program
+        run = EnumerationStats()
+        behs = reduced(program, UnstagedX86(), stats=run)
+        assert behs == naive_behaviors(program, X86)
+        assert run.executions_enumerated > 0
+        assert run.consistent > 0
+
+
+# ----------------------------------------------------------------------
+# The 5-thread corpus itself
+# ----------------------------------------------------------------------
+class TestFiveThreadCorpus:
+    def test_names_are_unique_and_programs_have_five_threads(self):
+        names = [t.name for t in FIVE_THREAD_CORPUS]
+        assert len(names) == len(set(names))
+        for test in FIVE_THREAD_CORPUS:
+            assert len(test.program.threads) >= 5, test.name
+
+    @pytest.mark.parametrize(
+        "test", FIVE_THREAD_CORPUS, ids=lambda t: t.name)
+    def test_annotations_hold_under_x86(self, test):
+        assert check_annotations(test, X86) == []
+
+    def test_stats_merge_into_module_counters(self):
+        reset_enumeration_stats()
+        before = dataclasses.replace(enumeration_stats())
+        reduced(IRIW5.program, X86)
+        after = enumeration_stats()
+        assert after.combos > before.combos
+        assert after.candidates_naive > before.candidates_naive

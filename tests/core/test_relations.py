@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.relations import Rel, total_order_extensions, union
+from repro.core.relations import (
+    Rel,
+    linear_extensions,
+    linear_extensions_with_last,
+    total_order_extensions,
+    union,
+)
 
 pairs_strategy = st.frozensets(
     st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=20
@@ -122,3 +128,80 @@ class TestProperties:
     def test_inverse_of_composition(self, a):
         b = Rel([(2, 7), (3, 1)])
         assert (a @ b).inv() == b.inv() @ a.inv()
+
+
+# ----------------------------------------------------------------------
+# Linear extensions (the coherence-order search primitive)
+# ----------------------------------------------------------------------
+def _total_order_rel(seq):
+    return Rel(
+        (seq[i], seq[j])
+        for i in range(len(seq))
+        for j in range(i + 1, len(seq))
+    )
+
+
+def _brute_force_extensions(elems, partial):
+    """Oracle: filter all permutations by the partial-order pairs."""
+    import itertools
+
+    members = set(elems)
+    relevant = [(a, b) for a, b in partial
+                if a in members and b in members and a != b]
+    out = []
+    for perm in itertools.permutations(elems):
+        pos = {e: i for i, e in enumerate(perm)}
+        if all(pos[a] < pos[b] for a, b in relevant):
+            out.append(_total_order_rel(perm))
+    return out
+
+
+small_poset_strategy = st.tuples(
+    st.integers(1, 5),
+    st.frozensets(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                  max_size=8),
+)
+
+
+class TestLinearExtensions:
+    @settings(max_examples=200, deadline=None)
+    @given(small_poset_strategy)
+    def test_matches_brute_force_permutation_filter(self, poset):
+        n, partial = poset
+        elems = list(range(n))
+        got = list(linear_extensions(elems, partial))
+        oracle = _brute_force_extensions(elems, partial)
+        # Same multiset; each extension exactly once.
+        assert len(got) == len(oracle)
+        assert {g.pairs for g in got} == {o.pairs for o in oracle}
+
+    def test_cyclic_partial_yields_nothing(self):
+        assert list(linear_extensions([0, 1], [(0, 1), (1, 0)])) == []
+
+    def test_no_constraints_is_all_permutations(self):
+        import math
+
+        assert len(list(linear_extensions(list(range(4)), []))) == \
+            math.factorial(4)
+
+    @settings(max_examples=200, deadline=None)
+    @given(small_poset_strategy, st.integers(0, 5))
+    def test_with_last_equals_filtered_extensions(self, poset, last):
+        n, partial = poset
+        elems = list(range(n))
+        got = {r.pairs
+               for r in linear_extensions_with_last(elems, partial,
+                                                    last)}
+        want = {
+            r.pairs for r in linear_extensions(elems, partial)
+            if all((e, last) in r for e in elems if e != last)
+        } if last in set(elems) else set()
+        assert got == want
+
+    def test_with_last_absent_member_is_empty(self):
+        assert list(linear_extensions_with_last([0, 1], [], 9)) == []
+
+    def test_with_last_forced_before_is_empty(self):
+        # partial forces 0 before 1, so 0 can never be placed last.
+        assert list(
+            linear_extensions_with_last([0, 1], [(0, 1)], 0)) == []

@@ -1,6 +1,6 @@
 """Regression tests for verifier correctness fixes.
 
-Two bugs fixed here:
+Four bugs fixed here:
 
 * ``drop_rmw_fence`` stripped *any* leading/trailing fence from an RMW
   lowering, although its contract is to weaken only the DMBFF — a
@@ -8,6 +8,12 @@ Two bugs fixed here:
 * ``check_translation`` passed vacuously when source and target share
   no behaviour keys: every target behaviour projects to the empty set
   and inclusion trivially holds.
+* ``check_translation`` projected *target-only* behaviour keys away
+  before the inclusion check, so a mapping that renames (or invents)
+  an observed register could corrupt it undetected.
+* ``drop_fences`` filtered only top-level ops, leaving fences nested
+  inside mapped ``If`` arms behind — the ablation then reasoned about
+  a "weakened" mapping that still contained the fence.
 """
 
 import pytest
@@ -15,10 +21,11 @@ import pytest
 from repro.core import ARM, X86
 from repro.core.enumerate import clear_behavior_cache
 from repro.core.events import Arch, Fence, RmwFlavor
-from repro.core.litmus_library import R, W, x86
+from repro.core.litmus_library import LitmusTest, R, W, outcome, x86
 from repro.core.mappings import OpMapping, risotto_tcg_to_arm_rmw2
-from repro.core.program import FenceOp, Program, Rmw
-from repro.core.verifier import check_translation, drop_rmw_fence
+from repro.core.program import FenceOp, If, Load, Program, Rmw
+from repro.core.verifier import ablate, check_mapping, \
+    check_translation, drop_fences, drop_rmw_fence
 from repro.errors import ModelError
 
 TCG_RMW = Rmw("X", 0, 1, RmwFlavor.TCG, out="r")
@@ -97,3 +104,141 @@ class TestVacuousTranslationCheck:
         verdict = check_translation(source, target, X86, ARM,
                                     mapping_name="same")
         assert verdict.ok
+
+
+class TestPartialOverlapTranslationCheck:
+    """A renamed observable must not slip through the projection.
+
+    The source observes register ``a``; the target renames it to
+    ``b``.  Location ``X`` is shared, so the zero-overlap guard never
+    fires — but projecting ``T0:b`` away would let the renamed
+    register hold *any* value and still "verify".
+    """
+
+    def setup_method(self):
+        clear_behavior_cache()
+
+    def _programs(self):
+        source = x86("src", (W("X", 1), R("a", "X")))
+        target = Program("tgt", Arch.ARM,
+                         ((W("X", 1), R("b", "X")),))
+        return source, target
+
+    def test_target_only_keys_raise(self):
+        source, target = self._programs()
+        with pytest.raises(ModelError, match="observes keys"):
+            check_translation(source, target, X86, ARM,
+                              mapping_name="renamed")
+
+    def test_explicit_opt_out_warns_and_projects(self):
+        source, target = self._programs()
+        with pytest.warns(UserWarning, match="observes keys"):
+            verdict = check_translation(
+                source, target, X86, ARM, mapping_name="renamed",
+                allow_extra_target_keys=True)
+        # Over the shared key X the programs agree.
+        assert verdict.ok
+
+    def test_source_only_keys_remain_sound(self):
+        # Projection in the source direction is fine: the target
+        # observing strictly *less* cannot hide a corrupted value.
+        source = x86("src", (W("X", 1), R("a", "X")))
+        target = Program("tgt", Arch.ARM, ((W("X", 1),),))
+        verdict = check_translation(source, target, X86, ARM,
+                                    mapping_name="narrowed")
+        assert verdict.ok
+
+
+def _collect_fences(ops):
+    found = []
+    for op in ops:
+        if isinstance(op, FenceOp):
+            found.append(op)
+        elif isinstance(op, If):
+            found += _collect_fences(op.then_ops)
+            found += _collect_fences(op.else_ops)
+    return found
+
+
+#: WRC with the reader-side ordering supplied *only* by a fence nested
+#: in both arms of a mapped conditional.  The T1 leg stays ordered by
+#: the residual ctrl dependency (ctrl into writes is preserved on
+#: Arm), so the forbidden outcome hinges entirely on the in-branch
+#: DMBFF between T2's loads — exactly the fence the old top-level-only
+#: ``drop_fences`` failed to remove.
+WRC_BRANCHY = LitmusTest(
+    x86(
+        "WRC-branchy",
+        (W("X", 1),),
+        (R("a", "X"), W("Y", 1)),
+        (R("b", "Y"), R("c", "X")),
+    ),
+    forbidden=(outcome(T1_a=1, T2_b=1, T2_c=0),),
+)
+
+
+def _fence_in_branch_mapping() -> OpMapping:
+    """x86→Arm lowering that hides every fence inside an ``If``."""
+
+    def map_op(op):
+        if isinstance(op, Load):
+            return (op, If(op.reg, 1,
+                           then_ops=(FenceOp(Fence.DMBFF),),
+                           else_ops=(FenceOp(Fence.DMBFF),)))
+        return (op,)
+
+    return OpMapping("branchy-fences", Arch.X86, Arch.ARM, map_op)
+
+
+class TestDropFencesRecursesIntoBranches:
+    def setup_method(self):
+        clear_behavior_cache()
+
+    def test_fences_inside_if_arms_are_stripped(self):
+        def map_op(op):
+            if isinstance(op, Rmw):
+                return (If("r", 1,
+                           then_ops=(FenceOp(Fence.DMBFF), W("X", 2)),
+                           else_ops=(FenceOp(Fence.DMBFF),
+                                     If("r", 0, then_ops=(
+                                         FenceOp(Fence.DMBFF),)))),)
+            return (op,)
+
+        mapping = OpMapping("nested", Arch.TCG, Arch.ARM, map_op)
+        weakened = drop_fences(mapping, frozenset({Fence.DMBFF}), "ff")
+        lowered = weakened.map_op(TCG_RMW)
+        assert _collect_fences(lowered) == []
+        # The non-fence payload of the branch survives.
+        (cond,) = lowered
+        assert any(isinstance(op, type(W("X", 2)))
+                   for op in cond.then_ops)
+
+    def test_other_fence_kinds_survive_inside_arms(self):
+        def map_op(op):
+            if isinstance(op, Rmw):
+                return (If("r", 1, then_ops=(FenceOp(Fence.DMBLD),
+                                             FenceOp(Fence.DMBFF))),)
+            return (op,)
+
+        mapping = OpMapping("mixed", Arch.TCG, Arch.ARM, map_op)
+        weakened = drop_fences(mapping, frozenset({Fence.DMBFF}), "ff")
+        (cond,) = weakened.map_op(TCG_RMW)
+        kinds = [f.kind for f in _collect_fences((cond,))]
+        assert kinds == [Fence.DMBLD]
+
+    def test_branchy_mapping_verifies_with_its_fences(self):
+        verdict = check_mapping(WRC_BRANCHY,
+                                _fence_in_branch_mapping(), X86, ARM)
+        assert verdict.ok
+
+    def test_ablation_sees_through_the_branch(self):
+        # Before the fix the weakened mapping still contained every
+        # fence (all of them live in If arms), so the ablation
+        # concluded the DMBFF was unnecessary for this corpus.
+        weakened = drop_fences(_fence_in_branch_mapping(),
+                               frozenset({Fence.DMBFF}), "ff")
+        (cond_tail,) = weakened.map_op(R("b", "Y"))[1:]
+        assert _collect_fences((cond_tail,)) == []
+        result = ablate((WRC_BRANCHY,), weakened, X86, ARM, "ff")
+        assert result.fence_was_necessary
+        assert result.broken_tests == ("WRC-branchy",)

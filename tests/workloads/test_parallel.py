@@ -21,6 +21,7 @@ from repro.workloads import (
     kernel_grid,
     library_grid,
     run_parallel,
+    verify_grid,
 )
 from repro.workloads.casbench import CasConfig
 from repro.workloads.kernels import KernelSpec
@@ -177,3 +178,59 @@ class TestOtherKinds:
         assert "no such ablation" in failure.error
         with pytest.raises(ReproError):
             run_parallel(sweep_specs, workers=1, strict=True)
+
+
+class TestVerifyKind:
+    """Sharded verification cells: determinism and digest agreement."""
+
+    NAMES = ("MP", "SB+mfences", "CoWR", "LB-IR")
+
+    def test_sharded_matches_serial(self):
+        grid = verify_grid(tests=self.NAMES, models=("x86-tso",))
+        serial = run_parallel(grid, workers=1, strict=True)
+        fanned = run_parallel(grid, workers=2, strict=True)
+        for left, right in zip(serial, fanned):
+            assert deterministic_row(left) == deterministic_row(right)
+        assert [r.benchmark for r in serial] == list(self.NAMES)
+
+    def test_digests_agree_across_reductions(self):
+        per_mode = {}
+        for reduction in ("dpor", "staged", "naive"):
+            grid = verify_grid(tests=self.NAMES[:2],
+                               models=("x86-tso",),
+                               reduction=reduction)
+            sweep = run_parallel(grid, workers=1, strict=True)
+            per_mode[reduction] = [
+                (row.benchmark, row.payload) for row in sweep
+            ]
+        assert per_mode["dpor"] == per_mode["staged"]
+        assert per_mode["dpor"] == per_mode["naive"]
+
+    def test_rows_carry_enumeration_accounting(self):
+        (spec,) = verify_grid(tests=("MP",), models=("x86-tso",))
+        row = execute_spec(spec)
+        assert row.variant == "x86-tso/dpor"
+        assert row.enum_candidates_naive > 0
+        assert row.enum_consistent > 0
+        digest, count = row.payload
+        assert len(digest) == 16 and count > 0
+
+    def test_unknown_litmus_test_raises(self):
+        (spec,) = verify_grid(tests=("no-such-litmus",),
+                              models=("x86-tso",))
+        with pytest.raises(ReproError, match="no-such-litmus"):
+            execute_spec(spec)
+
+    def test_unknown_model_raises(self):
+        (spec,) = verify_grid(tests=("MP",), models=("pdp11",))
+        with pytest.raises(ReproError, match="pdp11"):
+            execute_spec(spec)
+
+    def test_failures_are_collected_not_raised(self):
+        grid = verify_grid(tests=("MP", "no-such-litmus"),
+                           models=("x86-tso",))
+        sweep = run_parallel(grid, workers=2)
+        assert len(sweep.rows) == 1
+        (failure,) = sweep.failures
+        assert failure.kind == "verify"
+        assert failure.benchmark == "no-such-litmus"
