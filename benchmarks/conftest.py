@@ -46,12 +46,15 @@ def emit_report(results_dir, capsys):
 @pytest.fixture
 def emit_bench(results_dir):
     """Write a figure's machine-readable export to
-    results/bench_<figure>.json (see repro.analysis.export)."""
+    results/bench_<figure>.json (see repro.analysis.export) and
+    record it into the append-only bench history store
+    (results/history/; REPRO_BENCH_HISTORY=0 disables)."""
 
     def emit(figure: str, table=None, sweep=None, series=None,
-             extra=None) -> pathlib.Path:
+             extra=None, config=None) -> pathlib.Path:
         return write_bench_json(
             results_dir / f"bench_{figure}.json", figure,
-            table=table, sweep=sweep, series=series, extra=extra)
+            table=table, sweep=sweep, series=series, extra=extra,
+            config=config, record=True)
 
     return emit

@@ -17,13 +17,13 @@ harness pins that separation as executable numbers:
 * shard layout never changes the behaviour digests.
 """
 
-import json
 import pathlib
 
 import pytest
 
 from repro.analysis import aggregate_sweep, run_stats_footer
-from repro.api import deterministic_row, run_parallel, verify_grid
+from repro.api import deterministic_row, load_floors, run_parallel, \
+    verify_grid
 from repro.core import X86
 from repro.core.corpus_large import FIVE_THREAD_CORPUS, W4_2RR, W5_RR
 from repro.core.dpor import reduced_behaviors
@@ -74,7 +74,9 @@ def test_sharded_dpor_verifies_corpus(benchmark, emit_report,
 
     stats = aggregate_sweep(sweep)
     pruned = stats.enum_pruned_fraction
-    floor = json.loads(FLOOR_FILE.read_text())["min_pruned_fraction"]
+    # The legacy seed-baseline file reads through the sentinel's floor
+    # loader, the same path `python -m repro perf check --floors` uses.
+    floor = load_floors(FLOOR_FILE)["enum_pruned_fraction"]
     assert pruned >= floor, (
         f"pruned fraction regressed: {pruned:.4f} < recorded floor "
         f"{floor}"

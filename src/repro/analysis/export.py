@@ -82,15 +82,22 @@ def _sweep_stats(sweep) -> dict:
 
 def bench_payload(figure: str, table: BenchTable | None = None,
                   sweep=None, series: dict | None = None,
-                  extra: dict | None = None) -> dict:
+                  extra: dict | None = None,
+                  config: dict | None = None) -> dict:
     """Assemble the export dict for one figure.
 
     ``table`` contributes per-cell rows, ``sweep`` the harness-level
     aggregate (including the sweep-wide metrics snapshot when the
     sweep carries one), ``series``/``extra`` free-form figure data
     (e.g. Figure 15's throughput curves or prose numbers).
+    ``config`` declares the knobs that make runs comparable (iteration
+    counts, enumeration limits, …): it feeds the history store's
+    :func:`~repro.obs.history.config_fingerprint`, never the measured
+    quantities.
     """
     payload: dict = {"schema": BENCH_SCHEMA, "figure": figure}
+    if config:
+        payload["config"] = dict(config)
     if table is not None:
         payload["baseline"] = table.baseline
         payload["rows"] = _table_rows(table)
@@ -125,14 +132,29 @@ def bench_payload(figure: str, table: BenchTable | None = None,
 
 def write_bench_json(path, figure: str, table: BenchTable | None = None,
                      sweep=None, series: dict | None = None,
-                     extra: dict | None = None) -> Path:
-    """Write the figure's export payload; returns the path written."""
+                     extra: dict | None = None,
+                     config: dict | None = None,
+                     record: bool = False) -> Path:
+    """Write the figure's export payload; returns the path written.
+
+    ``record=True`` additionally appends the payload to the bench
+    history store (``history/`` next to the file, or
+    ``REPRO_BENCH_HISTORY_DIR``) — the harness ``emit_bench`` fixture
+    passes it so every benchmark run leaves a durable perf record;
+    ``REPRO_BENCH_HISTORY=0`` switches recording off globally.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = bench_payload(figure, table=table, sweep=sweep,
-                            series=series, extra=extra)
+                            series=series, extra=extra, config=config)
     path.write_text(json.dumps(payload, indent=2, sort_keys=False)
                     + "\n")
+    if record:
+        from ..obs import history as _history
+        if _history.history_enabled():
+            _history.record_bench(
+                payload,
+                history=_history.history_dir(path.parent / "history"))
     return path
 
 

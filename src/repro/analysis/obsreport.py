@@ -67,10 +67,19 @@ def render_bench(payload: dict, source: str = "") -> str:
 
 
 def render_hot_blocks(hot: dict) -> str:
-    """Per-run hot-block tables: dispatches and cycle share."""
+    """Per-run hot-block tables: dispatches and cycle share.
+
+    A run whose profile was never tracked (native runs export an
+    explicit ``None``) renders as such — callers no longer need to
+    strip those entries before rendering; tracked-but-empty profiles
+    are simply omitted.
+    """
     lines = ["hot blocks (guest pc, dispatches, cycles, share of "
              "listed):"]
     for run, blocks in sorted(hot.items()):
+        if blocks is None:
+            lines.append(f"  {run}: (profile not tracked)")
+            continue
         if not blocks:
             continue
         total = sum(cycles for _, _, cycles in blocks) or 1

@@ -55,6 +55,16 @@ from .dbt.xlat_cache import (
 )
 from .errors import ReproError
 from .machine.timing import CostModel
+from .obs.flame import collapsed_stacks, write_collapsed
+from .obs.history import (
+    config_fingerprint,
+    figures_in_history,
+    history_dir,
+    load_history,
+    record_bench,
+    render_trend,
+)
+from .obs.sentinel import check_payload, load_floors
 from .machine.weakmem import BufferMode
 from .workloads import (
     ALL_SPECS,
@@ -121,6 +131,11 @@ __all__ = [
     "clear_xlat_cache", "reset_xlat_memory", "get_xlat_cache",
     "behavior_cache_stats", "behavior_cache_dir",
     "behavior_cache_enabled", "clear_behavior_cache",
+    # performance observatory (bench history + regression sentinel)
+    "record_bench", "load_history", "history_dir",
+    "figures_in_history", "config_fingerprint", "render_trend",
+    "check_payload", "load_floors",
+    "collapsed_stacks", "write_collapsed",
 ]
 
 

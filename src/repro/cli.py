@@ -10,6 +10,10 @@ runners (which keep working unchanged):
   ``python -m repro.fuzz``);
 * ``obsreport`` — render bench/trace artefacts as text (delegates to
   ``python -m repro.analysis.obsreport``);
+* ``perf`` — the performance observatory: record bench exports into
+  the append-only history store, check fresh exports against recorded
+  baselines with the noise-aware regression sentinel, and render
+  trend tables / flamegraph collapsed stacks;
 * ``cache`` — inspect or clear the persistent caches (behavior
   enumeration + block translation).
 
@@ -120,6 +124,63 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False)
     obsreport.add_argument("args", nargs=argparse.REMAINDER)
 
+    perf = sub.add_parser(
+        "perf",
+        help="bench history, regression sentinel and trend reports")
+    perf_sub = perf.add_subparsers(dest="perf_command",
+                                   metavar="action")
+    record = perf_sub.add_parser(
+        "record", help="append bench_*.json exports to the history "
+                       "store")
+    record.add_argument("files", nargs="+", metavar="BENCH_JSON")
+    record.add_argument("--history", metavar="DIR",
+                        help="history store location (default: "
+                             "REPRO_BENCH_HISTORY_DIR or "
+                             "results/history)")
+    record.add_argument("--rev", metavar="REV",
+                        help="record under this revision (default: "
+                             "git rev-parse --short HEAD)")
+    record.add_argument("--note", default="",
+                        help="free-form note stored with the record")
+    check = perf_sub.add_parser(
+        "check", help="compare bench_*.json exports against the "
+                      "recorded baselines (exit 1 on regression)")
+    check.add_argument("files", nargs="+", metavar="BENCH_JSON")
+    check.add_argument("--history", metavar="DIR",
+                       help="history store location")
+    check.add_argument("--window", type=int, default=5,
+                       help="baseline records per fingerprint "
+                            "(default 5)")
+    check.add_argument("--mad-k", type=float, default=3.0,
+                       help="MAD multiplier of the noise band "
+                            "(default 3.0)")
+    check.add_argument("--rel-tol", type=float, default=0.05,
+                       help="relative tolerance floor (default 0.05)")
+    check.add_argument("--floors", metavar="FILE",
+                       help="absolute metric floors (accepts the "
+                            "legacy verify_floor.json shape)")
+    check.add_argument("--require-baseline", action="store_true",
+                       help="fail when a payload has no matching "
+                            "history baseline instead of skipping")
+    report = perf_sub.add_parser(
+        "report", help="render per-bench trend tables and flamegraph "
+                       "collapsed stacks")
+    report.add_argument("figures", nargs="*", metavar="FIGURE",
+                        help="figures to report (default: every "
+                             "figure in the store)")
+    report.add_argument("--history", metavar="DIR",
+                        help="history store location")
+    report.add_argument("--format", choices=("text", "md"),
+                        default="text",
+                        help="trend table format (default text)")
+    report.add_argument("--flame", metavar="OUT",
+                        help="write a collapsed-stack (flamegraph) "
+                             "export of --bench hot-block profiles")
+    report.add_argument("--bench", metavar="BENCH_JSON", nargs="+",
+                        default=(),
+                        help="bench exports whose hot blocks feed "
+                             "--flame")
+
     cache = sub.add_parser(
         "cache", help="persistent cache maintenance")
     cache_sub = cache.add_subparsers(dest="cache_command",
@@ -176,6 +237,7 @@ def _run_specs(args):
 def _cmd_run(args) -> int:
     from .analysis import BenchTable, run_stats_footer
     from .analysis.export import write_bench_json
+    from .obs.trace import flush_env_trace
 
     specs = _run_specs(args)
     sweep = api.run_parallel(specs, workers=args.workers, strict=True)
@@ -193,9 +255,19 @@ def _cmd_run(args) -> int:
     if not args.no_footer:
         print(run_stats_footer(sweep, f"{args.figure} harness stats"))
     if args.bench_json:
-        path = write_bench_json(args.bench_json, args.figure,
-                                table=table, sweep=sweep)
+        path = write_bench_json(
+            args.bench_json, args.figure, table=table, sweep=sweep,
+            config={
+                "benchmarks": sorted({s.benchmark for s in specs}),
+                "variants": sorted({s.variant for s in specs}),
+                "iterations": args.iterations,
+                "seed": args.seed,
+                "tier2_threshold": args.tier2_threshold,
+            })
         print(f"wrote {path}")
+    trace_path = flush_env_trace()
+    if trace_path:
+        print(f"wrote {trace_path}")
     return 0
 
 
@@ -305,6 +377,13 @@ def _cmd_verify(args) -> int:
     if args.bench_json:
         path = write_bench_json(
             args.bench_json, "verify", sweep=sweep,
+            config={
+                "reduction": args.reduction,
+                "models": list(models),
+                "tests": [spec.benchmark for spec in specs],
+                "enum_limit": args.enum_limit,
+                "use_cache": bool(args.use_cache),
+            },
             extra={
                 "reduction": args.reduction,
                 "models": list(models),
@@ -316,6 +395,10 @@ def _cmd_verify(args) -> int:
                 },
             })
         print(f"wrote {path}")
+    from .obs.trace import flush_env_trace
+    trace_path = flush_env_trace()
+    if trace_path:
+        print(f"wrote {trace_path}")
     if args.min_pruned is not None \
             and stats.enum_pruned_fraction < args.min_pruned:
         print(f"FAIL: pruned fraction "
@@ -323,6 +406,68 @@ def _cmd_verify(args) -> int:
               f"{args.min_pruned:.4f}", file=sys.stderr)
         return 1
     return 0
+
+
+# ----------------------------------------------------------------------
+# perf (history + sentinel + reports)
+# ----------------------------------------------------------------------
+def _cmd_perf(args) -> int:
+    from .analysis.export import load_bench_json
+    from .obs import history, sentinel
+    from .obs.flame import write_collapsed
+
+    if args.perf_command not in ("record", "check", "report"):
+        print("usage: python -m repro perf {record,check,report}",
+              file=sys.stderr)
+        return 2
+    hdir = args.history or None
+    if args.perf_command == "record":
+        for entry in args.files:
+            payload = load_bench_json(entry)
+            path = history.record_bench(payload, history=hdir,
+                                        rev=args.rev, note=args.note)
+            print(f"recorded {payload['figure']} "
+                  f"(fingerprint "
+                  f"{history.config_fingerprint(payload)}) -> {path}")
+        return 0
+    if args.perf_command == "check":
+        floors = sentinel.load_floors(args.floors) if args.floors \
+            else None
+        status = 0
+        for entry in args.files:
+            payload = load_bench_json(entry)
+            records = history.load_history(payload["figure"],
+                                           history=hdir)
+            report = sentinel.check_payload(
+                payload, records, window=args.window,
+                mad_k=args.mad_k, rel_tol=args.rel_tol,
+                floors=floors)
+            print(report.render())
+            if not report.ok(require_baseline=args.require_baseline):
+                status = 1
+        return status
+    if args.perf_command == "report":
+        figures = tuple(args.figures) \
+            or tuple(history.figures_in_history(hdir))
+        if not figures and not args.flame:
+            print("perf report: no history records found",
+                  file=sys.stderr)
+            return 1
+        for figure in figures:
+            records = history.load_history(figure, history=hdir)
+            print(history.render_trend(figure, records,
+                                       fmt=args.format))
+        if args.flame:
+            if not args.bench:
+                print("perf report: --flame needs --bench "
+                      "BENCH_JSON...", file=sys.stderr)
+                return 2
+            payloads = [load_bench_json(entry)
+                        for entry in args.bench]
+            path = write_collapsed(args.flame, payloads)
+            print(f"wrote {path}")
+        return 0
+    raise AssertionError(args.perf_command)  # unreachable
 
 
 # ----------------------------------------------------------------------
@@ -422,6 +567,8 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     if args.command == "cache":
         return _cmd_cache(args)
     parser.print_help()

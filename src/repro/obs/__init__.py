@@ -18,7 +18,20 @@ nothing, and call sites guard any non-trivial argument construction
 with ``tracer.enabled``.
 """
 
+from .flame import collapsed_stacks, write_collapsed
+from .history import (
+    HISTORY_SCHEMA,
+    config_fingerprint,
+    figures_in_history,
+    history_dir,
+    history_enabled,
+    load_history,
+    record_bench,
+    render_trend,
+)
 from .metrics import MetricsRegistry, get_registry, set_registry
+from .sentinel import Finding, SentinelReport, check_payload, \
+    load_floors
 from .trace import (
     NullTracer,
     Tracer,
@@ -33,4 +46,11 @@ __all__ = [
     "MetricsRegistry", "get_registry", "set_registry",
     "NullTracer", "Tracer", "get_tracer", "install_tracer",
     "trace_disable", "trace_enable", "validate_chrome_trace",
+    # bench history + regression sentinel
+    "HISTORY_SCHEMA", "config_fingerprint", "figures_in_history",
+    "history_dir", "history_enabled", "load_history", "record_bench",
+    "render_trend",
+    "Finding", "SentinelReport", "check_payload", "load_floors",
+    # flamegraph export
+    "collapsed_stacks", "write_collapsed",
 ]

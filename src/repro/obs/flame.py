@@ -1,0 +1,59 @@
+"""Collapsed-stack (flamegraph) export of hot-block profiles.
+
+The runtime already attributes dispatch counts and cycles to every
+translated guest block (``hot_blocks`` in each bench export).  This
+module folds those profiles into the *collapsed stack* format that
+``flamegraph.pl``, speedscope and most flame viewers consume — one
+line per stack, semicolon-separated frames, a space, and the sample
+weight::
+
+    fig12;blackscholes/risotto;pc_0x400290 912
+
+Frames are ``figure;benchmark/variant;pc_<guest pc>`` and the weight
+is the attributed cycle count, so the rendered flame shows exactly
+where the simulated cycles went across the whole sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..errors import ReproError
+
+
+def collapsed_stacks(payload: dict) -> list[str]:
+    """Collapsed-stack lines from one bench payload's hot blocks.
+
+    Untracked profiles (native runs export ``None``) and empty
+    profiles contribute nothing; runs with blocks contribute one line
+    per (run, guest pc) with the attributed cycles as the weight.
+    """
+    figure = payload.get("figure", "?")
+    lines: list[str] = []
+    for run, blocks in sorted((payload.get("hot_blocks") or {}).items()):
+        if not blocks:       # None (untracked) or [] (nothing hot)
+            continue
+        for entry in blocks:
+            try:
+                pc, _dispatches, cycles = entry
+            except (TypeError, ValueError):
+                raise ReproError(
+                    f"malformed hot-block entry for {run}: "
+                    f"{entry!r}") from None
+            if cycles <= 0:
+                continue
+            lines.append(
+                f"{figure};{run};pc_{int(pc):#x} {int(cycles)}")
+    return lines
+
+
+def write_collapsed(path, payloads) -> Path:
+    """Write the collapsed stacks of one or more payloads; returns the
+    path written (the file may be empty when nothing was profiled)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines: list[str] = []
+    for payload in payloads:
+        lines.extend(collapsed_stacks(payload))
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path

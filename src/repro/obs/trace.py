@@ -35,8 +35,9 @@ from dataclasses import dataclass, field
 
 from ..errors import ReproError
 
-#: Chrome trace_event phase codes we emit.
-_PHASES = {"X", "i", "C"}
+#: Chrome trace_event phase codes we emit ("M" carries the
+#: process/thread naming metadata of merged multi-worker traces).
+_PHASES = {"X", "i", "C", "M"}
 
 
 class _NullSpan:
@@ -136,6 +137,34 @@ class Tracer:
             "pid": self.pid, "tid": self.tid, "cat": "repro",
             "args": values,
         })
+
+    def process_metadata(self, pid: int, name: str) -> None:
+        """Record a Chrome ``process_name`` metadata event so merged
+        traces label each worker lane."""
+        self._record({
+            "name": "process_name", "ph": "M", "ts": 0,
+            "pid": pid, "tid": 0, "cat": "__metadata",
+            "args": {"name": name},
+        })
+
+    def merge_events(self, events, epoch_ns: int | None = None) -> int:
+        """Fold another tracer's events into this one.
+
+        ``epoch_ns`` is the source tracer's epoch; timestamps are
+        rebased onto this tracer's timeline (``perf_counter_ns`` is a
+        shared monotonic clock, so spans from pool workers line up
+        with the parent's).  Events keep their own ``pid``/``tid`` —
+        that is what makes the merged trace show one lane per worker.
+        Returns the number of events merged.
+        """
+        offset_us = 0.0 if epoch_ns is None \
+            else (epoch_ns - self.epoch_ns) / 1000.0
+        for event in events:
+            event = dict(event)
+            if isinstance(event.get("ts"), (int, float)):
+                event["ts"] = max(0.0, event["ts"] + offset_us)
+            self.events.append(event)
+        return len(events)
 
     # ------------------------------------------------------------------
     def to_chrome(self) -> dict:
@@ -250,6 +279,11 @@ def validate_chrome_events(events) -> int:
                 f"event #{i} has unknown phase {event['ph']!r}")
         if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
             raise ReproError(f"event #{i} has bad ts {event['ts']!r}")
+        if event["ph"] == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                raise ReproError(
+                    f"event #{i} (metadata) has no args.name")
         if event["ph"] == "X":
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:

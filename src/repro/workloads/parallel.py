@@ -192,6 +192,14 @@ class RunRow:
     #: of :meth:`repro.obs.metrics.MetricsRegistry.snapshot`), merged
     #: across the process boundary by :func:`run_parallel`.
     metrics: dict = field(default_factory=dict)
+    #: trace_event dicts recorded in the worker while this spec ran
+    #: (empty unless tracing is enabled).  ``run_parallel`` rebases
+    #: them onto the parent tracer's timeline so a sweep leaves one
+    #: merged Chrome trace with a lane per worker pid.
+    trace_events: tuple = ()
+    #: the worker tracer's ``perf_counter_ns`` epoch, needed to rebase
+    #: ``trace_events`` onto another tracer's timeline.
+    trace_epoch_ns: int = 0
     #: kind-specific extras (e.g. broken litmus tests of an ablation).
     payload: tuple = ()
 
@@ -271,7 +279,8 @@ def deterministic_row(row: RunRow) -> RunRow:
     determinism tests and the CI warm-vs-cold leg compare.
     """
     return replace(row, wall_seconds=0.0, xlat_hits=0,
-                   xlat_misses=0, xlat_disk_hits=0)
+                   xlat_misses=0, xlat_disk_hits=0,
+                   trace_events=(), trace_epoch_ns=0)
 
 
 def _run_metrics(spec: RunSpec, row: RunRow) -> dict:
@@ -502,9 +511,27 @@ class RunFailure:
 
 
 def _pool_entry(spec: RunSpec):
-    """What actually runs in the worker: a row, or a failure record."""
+    """What actually runs in the worker: a row, or a failure record.
+
+    With tracing enabled the run is wrapped in one ``run.spec`` span
+    and every event it recorded travels back on the row, so the parent
+    can merge per-worker streams into a single sweep-wide trace.
+    """
+    tracer = get_tracer()
+    start = None
+    if tracer.enabled:
+        # Forked workers inherit the parent tracer object verbatim —
+        # restamp the pid so this worker's events land in its own lane.
+        tracer.pid = os.getpid()
+        start = len(tracer.events)
+        span = tracer.span("run.spec", cat="sweep", kind=spec.kind,
+                           benchmark=spec.benchmark,
+                           variant=spec.variant, seed=spec.seed)
     try:
-        return execute_spec(spec)
+        if start is None:
+            return execute_spec(spec)
+        with span:
+            row = execute_spec(spec)
     except Exception as exc:  # noqa: BLE001 - the boundary by design
         return RunFailure(
             kind=spec.kind,
@@ -513,6 +540,9 @@ def _pool_entry(spec: RunSpec):
             seed=spec.seed,
             error=f"{type(exc).__name__}: {exc}",
         )
+    row.trace_events = tuple(dict(e) for e in tracer.events[start:])
+    row.trace_epoch_ns = tracer.epoch_ns
+    return row
 
 
 def default_workers() -> int:
@@ -593,6 +623,21 @@ def run_parallel(specs, workers: int | None = None,
                 outcomes = list(pool.map(_pool_entry, specs))
     rows = [o for o in outcomes if isinstance(o, RunRow)]
     failures = [o for o in outcomes if isinstance(o, RunFailure)]
+    if tracer.enabled and workers > 1:
+        # Serial sweeps record straight into this tracer; pooled
+        # sweeps ship each worker's events back on the rows.  Rebase
+        # them here (perf_counter_ns is one shared monotonic clock)
+        # so the merged trace shows one aligned lane per worker pid.
+        worker_pids = set()
+        for row in rows:
+            if row.trace_events:
+                tracer.merge_events(row.trace_events,
+                                    epoch_ns=row.trace_epoch_ns)
+                worker_pids.update(e.get("pid")
+                                   for e in row.trace_events)
+        for pid in sorted(p for p in worker_pids
+                          if p and p != tracer.pid):
+            tracer.process_metadata(pid, f"repro-worker-{pid}")
     if tracer.enabled:
         tracer.counter("sweep.outcomes", rows=len(rows),
                        failures=len(failures))

@@ -47,6 +47,11 @@ EXPECTED_SURFACE = {
     "clear_xlat_cache", "reset_xlat_memory", "get_xlat_cache",
     "behavior_cache_stats", "behavior_cache_dir",
     "behavior_cache_enabled", "clear_behavior_cache",
+    # performance observatory (bench history + regression sentinel)
+    "record_bench", "load_history", "history_dir",
+    "figures_in_history", "config_fingerprint", "render_trend",
+    "check_payload", "load_floors",
+    "collapsed_stacks", "write_collapsed",
 }
 
 #: Functions that take the workload positionally and *everything else*

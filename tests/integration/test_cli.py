@@ -24,7 +24,8 @@ class TestParser:
             build_parser().parse_args(["--help"])
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
-        for command in ("run", "fuzz", "obsreport", "cache"):
+        for command in ("run", "verify", "fuzz", "obsreport", "perf",
+                        "cache"):
             assert command in out
 
     def test_no_command_prints_help(self, capsys):
@@ -96,6 +97,109 @@ class TestCache:
         assert main(["cache", "stats", "--json"]) == 0
         after = json.loads(capsys.readouterr().out)
         assert after["xlat"]["disk_entries"] == 0
+
+
+class TestPerf:
+    @pytest.fixture()
+    def history_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_HISTORY", raising=False)
+        store = tmp_path / "history"
+        monkeypatch.setenv("REPRO_BENCH_HISTORY_DIR", str(store))
+        return store
+
+    def _fig12_bench(self, tmp_path, capsys, name="bench.json"):
+        bench = tmp_path / name
+        assert main([
+            "run", "fig12", "--benchmarks", "histogram",
+            "--variants", "risotto", "--iterations", "40",
+            "--workers", "1", "--bench-json", str(bench),
+        ]) == 0
+        capsys.readouterr()
+        return bench
+
+    def test_record_then_unmodified_check_passes(self, cache_env,
+                                                 history_env,
+                                                 tmp_path, capsys):
+        bench = self._fig12_bench(tmp_path, capsys)
+        assert main(["perf", "record", str(bench),
+                     "--rev", "seed"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded fig12" in out
+        # The acceptance contract: an unmodified re-run exits zero.
+        assert main(["perf", "check", str(bench),
+                     "--require-baseline"]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, cache_env,
+                                               history_env,
+                                               tmp_path, capsys):
+        bench = self._fig12_bench(tmp_path, capsys)
+        assert main(["perf", "record", str(bench)]) == 0
+        capsys.readouterr()
+        # Inject a 10% cycle slowdown into every row, config untouched
+        # so the fingerprint still matches the recorded baseline.
+        payload = json.loads(bench.read_text())
+        for row in payload["rows"]:
+            row["cycles"] = int(row["cycles"] * 1.10)
+            row["total_cycles"] = int(row["total_cycles"] * 1.10)
+        slow = tmp_path / "bench_slow.json"
+        slow.write_text(json.dumps(payload))
+        assert main(["perf", "check", str(slow)]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "REGRESSION" in out
+
+    def test_check_without_baseline(self, cache_env, history_env,
+                                    tmp_path, capsys):
+        bench = self._fig12_bench(tmp_path, capsys)
+        # No record yet: lenient mode skips, strict mode fails.
+        assert main(["perf", "check", str(bench)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "check", str(bench),
+                     "--require-baseline"]) == 1
+
+    def test_floors_subsume_verify_floor_gate(self, cache_env,
+                                              history_env, tmp_path,
+                                              capsys):
+        bench = tmp_path / "bench_verify.json"
+        assert main(["verify", "--tests", "MP,SB", "--workers", "1",
+                     "--bench-json", str(bench)]) == 0
+        capsys.readouterr()
+        floors = tmp_path / "floors.json"
+        floors.write_text(json.dumps({"min_pruned_fraction": 0.05}))
+        assert main(["perf", "check", str(bench),
+                     "--floors", str(floors)]) == 0
+        capsys.readouterr()
+        floors.write_text(json.dumps({"min_pruned_fraction": 0.9999}))
+        assert main(["perf", "check", str(bench),
+                     "--floors", str(floors)]) == 1
+        assert "enum_pruned_fraction" in capsys.readouterr().out
+
+    def test_report_trend_and_flame(self, cache_env, history_env,
+                                    tmp_path, capsys):
+        bench = self._fig12_bench(tmp_path, capsys)
+        assert main(["perf", "record", str(bench), "--rev", "r1"]) == 0
+        assert main(["perf", "record", str(bench), "--rev", "r2"]) == 0
+        capsys.readouterr()
+        flame = tmp_path / "flame.txt"
+        assert main(["perf", "report", "--format", "md",
+                     "--flame", str(flame), "--bench", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "### fig12" in out
+        assert "histogram/risotto" in out
+        stacks = flame.read_text().splitlines()
+        assert stacks and all(
+            line.startswith("fig12;") and line.rsplit(" ", 1)[1]
+            .isdigit() for line in stacks)
+
+    def test_report_without_history_fails(self, cache_env,
+                                          history_env, capsys):
+        assert main(["perf", "report"]) == 1
+        assert "no history records" in capsys.readouterr().err
+
+    def test_perf_without_action_usage(self, capsys):
+        assert main(["perf"]) == 2
+        assert "record,check,report" in capsys.readouterr().err
 
 
 class TestDelegation:

@@ -129,9 +129,22 @@ class TestRenderBench:
         assert "repro_runs_total [counter]" in text
         assert "kind=kernel, variant=qemu" in text
 
+    def test_untracked_profile_renders(self, table, sweep):
+        # Regression test: native rows export hot_blocks as an
+        # explicit null, and the renderer used to crash iterating it.
+        payload = bench_payload("fig12", table=table, sweep=sweep)
+        assert payload["hot_blocks"]["alpha/native"] is None
+        text = render_bench(payload)
+        assert "alpha/native: (profile not tracked)" in text
+
     def test_minimal_payload(self):
         text = render_bench({"figure": "x"})
         assert text == "=== bench export: x (inline) ==="
+
+    def test_config_section_roundtrips(self, table, sweep):
+        payload = bench_payload("fig12", table=table, sweep=sweep,
+                                config={"iterations": 40, "seed": 7})
+        assert payload["config"] == {"iterations": 40, "seed": 7}
 
 
 class TestRenderMetrics:

@@ -1,0 +1,107 @@
+"""Metrics across the pool boundary: per-run snapshots from forked
+workers must merge into one sweep-wide registry, with colliding label
+sets summing instead of clobbering."""
+
+from repro.obs.metrics import MetricsRegistry, label_key
+from repro.workloads import run_parallel, verify_grid
+
+# Four cells sharing kind="verify" and one variant label: every row's
+# repro_runs_total snapshot lands on the SAME label key, so the merge
+# must sum them across workers.
+GRID = verify_grid(tests=("MP", "SB", "LB", "R"),
+                   models=("x86-tso",))
+LABELS = label_key({"kind": "verify", "variant": "x86-tso/dpor"})
+
+
+def merged_registry(sweep) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.merge(sweep.metrics)
+    return reg
+
+
+class TestPoolBoundaryMerge:
+    def test_colliding_counter_labels_sum(self):
+        sweep = run_parallel(GRID, workers=2, strict=True)
+        reg = merged_registry(sweep)
+        series = reg.counter_series("repro_runs_total")
+        # One series, count == all four runs — not one-per-worker and
+        # not last-write-wins.
+        assert series == {LABELS: len(GRID)}
+
+    def test_colliding_histogram_labels_sum(self):
+        sweep = run_parallel(GRID, workers=2, strict=True)
+        reg = merged_registry(sweep)
+        cell = reg.get("repro_run_cycles").series[LABELS]
+        assert cell["count"] == len(GRID)
+        assert sum(cell["buckets"]) == len(GRID)
+
+    def test_pool_layout_does_not_change_the_merge(self):
+        serial = run_parallel(GRID, workers=1, strict=True)
+        pooled = run_parallel(GRID, workers=2, strict=True)
+        assert serial.metrics == pooled.metrics
+
+    def test_mixed_variants_keep_separate_series(self):
+        grid = verify_grid(tests=("MP", "SB"), models=("x86-tso",)) \
+            + verify_grid(tests=("MP", "SB"), models=("x86-tso",),
+                          reduction="staged")
+        sweep = run_parallel(grid, workers=2, strict=True)
+        series = merged_registry(sweep).counter_series(
+            "repro_runs_total")
+        assert series == {
+            label_key({"kind": "verify",
+                       "variant": "x86-tso/dpor"}): 2,
+            label_key({"kind": "verify",
+                       "variant": "x86-tso/staged"}): 2,
+        }
+
+    def test_every_row_ships_a_snapshot(self):
+        sweep = run_parallel(GRID, workers=2, strict=True)
+        for row in sweep:
+            assert row.metrics["schema"] == "repro-metrics/1"
+            assert "repro_runs_total" in row.metrics["metrics"]
+
+
+class TestMergeEdgeCases:
+    def test_empty_snapshot_is_a_noop(self):
+        reg = MetricsRegistry()
+        reg.counter("c").labels(x="1").inc(3)
+        before = reg.snapshot()
+        reg.merge({})
+        assert reg.snapshot() == before
+
+    def test_merge_into_empty_registry(self):
+        # An "empty-worker" parent: never recorded anything itself,
+        # only folds incoming snapshots.
+        source = MetricsRegistry()
+        source.histogram("h").labels(x="1").observe(7)
+        sink = MetricsRegistry()
+        sink.merge(source.snapshot())
+        assert sink.snapshot() == source.snapshot()
+
+    def test_merge_is_associative_over_order(self):
+        snaps = []
+        for value in (3, 700, 12):
+            reg = MetricsRegistry()
+            reg.histogram("h").labels(x="1").observe(value)
+            reg.counter("c").labels(x="1").inc()
+            snaps.append(reg.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_bucket_mismatch_rejected(self):
+        import pytest
+
+        from repro.errors import ReproError
+        narrow = MetricsRegistry()
+        narrow.histogram("h", buckets=(1, 10)).labels(x="1").observe(5)
+        wide = MetricsRegistry()
+        wide.histogram("h", buckets=(1, 10, 100)).labels(x="1") \
+            .observe(5)
+        sink = MetricsRegistry()
+        sink.merge(narrow.snapshot())
+        with pytest.raises(ReproError, match="bucket layouts"):
+            sink.merge(wide.snapshot())

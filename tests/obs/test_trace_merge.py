@@ -1,0 +1,137 @@
+"""Cross-worker trace propagation: a pooled sweep with tracing on
+must leave ONE merged Chrome trace with a lane per worker pid and a
+``run.spec`` span for every spec."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.trace import (
+    Tracer,
+    install_tracer,
+    validate_chrome_events,
+    validate_chrome_trace,
+)
+from repro.workloads import run_parallel, verify_grid
+from repro.workloads.parallel import deterministic_row
+
+GRID = verify_grid(tests=("MP", "SB", "LB", "R"),
+                   models=("x86-tso",))
+
+
+@pytest.fixture
+def tracer():
+    live = Tracer()
+    previous = install_tracer(live)
+    yield live
+    install_tracer(previous)
+
+
+def spans(tracer, name):
+    return [e for e in tracer.events
+            if e["ph"] == "X" and e["name"] == name]
+
+
+class TestPooledMerge:
+    def test_two_worker_sweep_merges_into_one_trace(self, tracer,
+                                                    tmp_path):
+        sweep = run_parallel(GRID, workers=2, strict=True)
+        assert sweep.workers == 2
+
+        run_spans = spans(tracer, "run.spec")
+        assert len(run_spans) == len(GRID)
+        assert {s["args"]["benchmark"] for s in run_spans} == \
+            {"MP", "SB", "LB", "R"}
+
+        # Every span from a forked worker carries the worker's own
+        # pid, not the inherited parent pid.
+        worker_pids = {s["pid"] for s in run_spans}
+        assert worker_pids, "no worker pids on run.spec spans"
+        assert os.getpid() not in worker_pids
+        assert 1 <= len(worker_pids) <= 2
+
+        # Each worker lane is named via a process_name metadata event.
+        meta = [e for e in tracer.events if e["ph"] == "M"]
+        assert {e["pid"] for e in meta} == worker_pids
+        for event in meta:
+            assert event["args"]["name"].startswith("repro-worker-")
+
+        # The merged document passes the same validator CI uses.
+        path = tracer.write_chrome(tmp_path / "trace.json")
+        assert validate_chrome_trace(path) == len(tracer.events)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert all(e["ts"] >= 0 for e in doc["traceEvents"])
+
+    def test_rows_carry_events_across_the_boundary(self, tracer):
+        sweep = run_parallel(GRID, workers=2, strict=True)
+        for row in sweep:
+            assert row.trace_events, row.benchmark
+            assert row.trace_epoch_ns > 0
+            assert any(e["name"] == "run.spec"
+                       for e in row.trace_events)
+
+    def test_serial_sweep_records_without_duplication(self, tracer):
+        run_parallel(GRID, workers=1, strict=True)
+        # workers==1 runs in-process: events land in the parent tracer
+        # directly and the merge step must not re-add them.
+        assert len(spans(tracer, "run.spec")) == len(GRID)
+        assert not [e for e in tracer.events if e["ph"] == "M"]
+
+    def test_deterministic_row_zeroes_trace_fields(self, tracer):
+        sweep = run_parallel(GRID[:1], workers=1, strict=True)
+        row = sweep.rows[0]
+        assert row.trace_events
+        normalized = deterministic_row(row)
+        assert normalized.trace_events == ()
+        assert normalized.trace_epoch_ns == 0
+
+    def test_layouts_agree_after_normalization(self, tracer):
+        serial = run_parallel(GRID, workers=1, strict=True)
+        pooled = run_parallel(GRID, workers=2, strict=True)
+        for left, right in zip(serial, pooled):
+            assert deterministic_row(left) == deterministic_row(right)
+
+
+class TestMergeEvents:
+    def test_rebases_onto_parent_epoch(self):
+        parent = Tracer(epoch_ns=1_000_000)
+        merged = parent.merge_events(
+            [{"name": "w", "ph": "i", "ts": 5.0, "pid": 9,
+              "tid": 0, "s": "t", "args": {}}],
+            epoch_ns=3_000_000)
+        assert merged == 1
+        # worker epoch is 2ms after the parent's: 5us + 2000us.
+        assert parent.events[0]["ts"] == pytest.approx(2005.0)
+        assert parent.events[0]["pid"] == 9
+
+    def test_clamps_pre_epoch_timestamps(self):
+        parent = Tracer(epoch_ns=5_000_000)
+        parent.merge_events(
+            [{"name": "w", "ph": "i", "ts": 1.0, "pid": 9,
+              "tid": 0, "s": "t", "args": {}}],
+            epoch_ns=1_000_000)
+        assert parent.events[0]["ts"] == 0.0
+
+    def test_copies_events(self):
+        parent = Tracer()
+        source = {"name": "w", "ph": "i", "ts": 1.0, "pid": 9,
+                  "tid": 0, "s": "t", "args": {}}
+        parent.merge_events([source], epoch_ns=parent.epoch_ns + 1000)
+        assert source["ts"] == 1.0  # the caller's dict is untouched
+
+
+class TestValidatorMetadataPhase:
+    def test_metadata_event_validates(self):
+        tracer = Tracer()
+        tracer.process_metadata(1234, "repro-worker-1234")
+        assert validate_chrome_events(tracer.events) == 1
+
+    def test_metadata_without_name_rejected(self):
+        with pytest.raises(ReproError, match="args.name"):
+            validate_chrome_events([
+                {"name": "process_name", "ph": "M", "ts": 0,
+                 "pid": 1, "tid": 0, "args": {}},
+            ])
