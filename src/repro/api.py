@@ -41,6 +41,18 @@ from .core.dpor import reduced_behaviors
 from .core.enumerate import behavior_cache_stats, enumeration_stats, \
     reset_enumeration_stats
 from .core.models import MODEL_BY_NAME
+from .core.most import (
+    FenceScheme,
+    MOST,
+    SCHEME_EXPECTED,
+    SCHEME_MAPPINGS,
+    SCHEMES,
+    SOURCE_TABLES,
+    TARGET_MENUS,
+    derive_scheme,
+    known_origins,
+    scheme_mapping,
+)
 from .dbt import DBTConfig, DBTEngine, NATIVE, NativeRunner, \
     RunResult, VARIANT_NAMES, VARIANTS, resolve_variant
 from .dbt.config import DEFAULT_TIER2_THRESHOLD, Tier2Config, \
@@ -86,6 +98,7 @@ from .workloads import (
     kernel_grid,
     library_grid,
     run_parallel,
+    scheme_grid,
     verify_grid,
 )
 from .workloads import runner as _runner
@@ -112,11 +125,15 @@ __all__ = [
     "ALL_SPECS", "PARSEC_SPECS", "PHOENIX_SPECS", "SPEC_BY_NAME",
     "FIGURE15_CONFIGS", "DATA_BUF",
     "kernel_grid", "library_grid", "cas_grid", "ablation_grid",
-    "verify_grid",
+    "scheme_grid", "verify_grid",
     # sharded verification / enumeration reduction
     "MODEL_BY_NAME", "FIVE_THREAD_CORPUS", "verify_registry",
     "reduced_behaviors", "enumeration_stats",
     "reset_enumeration_stats",
+    # mapping-scheme family (MOST tables + derived schemes)
+    "MOST", "FenceScheme", "SOURCE_TABLES", "TARGET_MENUS",
+    "SCHEMES", "SCHEME_MAPPINGS", "SCHEME_EXPECTED",
+    "derive_scheme", "scheme_mapping", "known_origins",
     "build_libm", "build_libcrypto", "build_libsqlite",
     "standard_libraries", "throughput_from_cycles",
     "gen_x86_program", "gen_arm_program",

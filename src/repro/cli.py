@@ -111,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the verifier stats report here")
     verify.add_argument("--bench-json", metavar="PATH",
                         help="write the machine-readable export here")
+    verify.add_argument("--schemes", nargs="?", const="all",
+                        metavar="S1,S2,...",
+                        help="sweep the derived mapping-scheme family "
+                             "(Theorem-1 corpus check per scheme × "
+                             "RMW lowering) instead of the litmus "
+                             "grid; optional comma-separated scheme "
+                             "subset (default: all)")
+    verify.add_argument("--record", action="store_true",
+                        help="append the --bench-json export to the "
+                             "perf-observatory history store")
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzer (python -m repro.fuzz)",
@@ -347,12 +357,89 @@ def _verify_report(sweep, args, stats) -> str:
     return "\n".join(lines)
 
 
+def _cmd_schemes(args) -> int:
+    """``verify --schemes``: Theorem-1 gate over the derived family.
+
+    Every (scheme × RMW lowering) cell checks the full x86 corpus and
+    must land on its *expected* verdict: sound schemes must pass, and
+    the negative controls must stay broken — an unexpectedly green
+    control means the checker lost its teeth, and fails the gate too.
+    """
+    from .analysis import run_stats_footer
+    from .analysis.export import write_bench_json
+
+    names = None if args.schemes == "all" else _csv(args.schemes)
+    specs = api.scheme_grid(names, enum_limit=args.enum_limit)
+    sweep = api.run_parallel(specs, workers=args.workers, strict=True)
+
+    lines = [
+        "scheme-matrix: Theorem-1 corpus checks for the derived "
+        "mapping family",
+        "",
+        f"{'scheme':12s} {'mapping':24s} {'tests':>5s} "
+        f"{'verdict':8s} {'expected':8s} {'gate':6s} broken",
+    ]
+    failures = 0
+    rows_extra = {}
+    for spec, row in zip(specs, sweep):
+        ok, expected, checked = row.payload[:3]
+        broken = row.payload[3:]
+        gate_ok = ok == expected
+        failures += 0 if gate_ok else 1
+        verdict = "sound" if ok else "broken"
+        wanted = "sound" if expected else "broken"
+        mapping = f"most-{spec.benchmark}-{spec.rmw_lowering}"
+        lines.append(
+            f"{spec.benchmark:12s} {mapping:24s} {checked:5d} "
+            f"{verdict:8s} {wanted:8s} "
+            f"{'ok' if gate_ok else 'FAIL':6s} "
+            f"{', '.join(broken) if broken else '-'}")
+        rows_extra[mapping] = {
+            "scheme": spec.benchmark,
+            "rmw_lowering": spec.rmw_lowering,
+            "variant": spec.variant,
+            "ok": bool(ok),
+            "expected_ok": bool(expected),
+            "tests_checked": int(checked),
+            "broken_tests": list(broken),
+        }
+    lines.append("")
+    lines.append(run_stats_footer(sweep, "scheme-matrix stats"))
+    print("\n".join(lines))
+
+    if args.bench_json:
+        path = write_bench_json(
+            args.bench_json, "schemes", sweep=sweep,
+            config={
+                "schemes": [spec.benchmark for spec in specs],
+                "rmw_lowerings": [spec.rmw_lowering for spec in specs],
+                "enum_limit": args.enum_limit,
+            },
+            extra={
+                "gate_failures": failures,
+                "verdicts": rows_extra,
+            },
+            record=args.record)
+        print(f"wrote {path}")
+    from .obs.trace import flush_env_trace
+    trace_path = flush_env_trace()
+    if trace_path:
+        print(f"wrote {trace_path}")
+    if failures:
+        print(f"FAIL: {failures} scheme cell(s) off their expected "
+              f"Theorem-1 verdict", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_verify(args) -> int:
     import os
 
     from .analysis.export import write_bench_json
     from .analysis.stats import aggregate_sweep
 
+    if args.schemes is not None:
+        return _cmd_schemes(args)
     if args.cache_ns:
         os.environ["REPRO_BEHAVIOR_CACHE_NS"] = args.cache_ns
     models = _csv(args.models) or ("x86-tso",)
@@ -393,7 +480,8 @@ def _cmd_verify(args) -> int:
                     f"{row.benchmark}|{row.variant}": list(row.payload)
                     for row in sweep
                 },
-            })
+            },
+            record=args.record)
         print(f"wrote {path}")
     from .obs.trace import flush_env_trace
     trace_path = flush_env_trace()
@@ -550,19 +638,37 @@ def _cmd_cache(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _delegate(command: str):
+    """The runner a delegated subcommand forwards its argv to."""
+    if command == "fuzz":
+        from .fuzz.__main__ import main as fuzz_main
+        return fuzz_main
+    if command == "obsreport":
+        from .analysis.obsreport import main as obsreport_main
+        return obsreport_main
+    return None
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     # Delegated subcommands forward their argv untouched; argparse's
     # REMAINDER cannot (it rejects a leading option, bpo-17050).
-    if argv and argv[0] == "fuzz":
-        from .fuzz.__main__ import main as fuzz_main
-        return fuzz_main(list(argv[1:]))
-    if argv and argv[0] == "obsreport":
-        from .analysis.obsreport import main as obsreport_main
-        return obsreport_main(list(argv[1:]))
+    if argv:
+        runner = _delegate(argv[0])
+        if runner is not None:
+            return runner(list(argv[1:]))
     parser = build_parser()
-    args = parser.parse_args(argv)
+    # parse_known_args, not parse_args: REMAINDER drops a *leading*
+    # option into the unknown bucket (bpo-17050 again), so a strict
+    # parse of e.g. ["fuzz", "--help"] dies with "unrecognized
+    # arguments" at the top level instead of reaching the delegate.
+    args, unknown = parser.parse_known_args(argv)
+    runner = _delegate(args.command or "")
+    if runner is not None:
+        return runner(list(unknown) + list(args.args))
+    if unknown:
+        parser.error("unrecognized arguments: " + " ".join(unknown))
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "verify":

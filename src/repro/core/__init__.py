@@ -16,8 +16,13 @@ from .enumerate import behaviors, consistent_executions, \
     enumerate_consistent, enumerate_executions
 from .dpor import reduced_behaviors
 from .models import ARM, ARM_ORIGINAL, MODEL_BY_NAME, SC, TCG, X86
-from . import corpus_large, litmus_library, mappings, transforms, \
-    verifier
+# .most registers the derived scheme mappings into
+# mappings.ALL_MAPPINGS as an import side effect — keep it in the
+# package preamble so every entry point sees the full registry.
+from . import corpus_large, litmus_library, mappings, most, \
+    transforms, verifier
+from .most import MOST, FenceScheme, SCHEMES, derive_scheme, \
+    known_origins, scheme_mapping
 
 __all__ = [
     "Arch", "Event", "Fence", "Mode", "RmwFlavor",
@@ -26,6 +31,8 @@ __all__ = [
     "behaviors", "consistent_executions", "enumerate_consistent",
     "enumerate_executions", "reduced_behaviors",
     "ARM", "ARM_ORIGINAL", "MODEL_BY_NAME", "SC", "TCG", "X86",
-    "corpus_large", "litmus_library", "mappings", "transforms",
-    "verifier",
+    "corpus_large", "litmus_library", "mappings", "most",
+    "transforms", "verifier",
+    "MOST", "FenceScheme", "SCHEMES", "derive_scheme",
+    "known_origins", "scheme_mapping",
 ]

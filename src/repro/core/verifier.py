@@ -179,12 +179,14 @@ def _project(beh: frozenset, keys: frozenset) -> frozenset:
 def check_mapping(test: LitmusTest, mapping: OpMapping,
                   src_model: MemoryModel,
                   tgt_model: MemoryModel,
-                  limit: int | None = None) -> MappingVerdict:
+                  limit: int | None = None, *,
+                  allow_extra_target_keys: bool = False) -> MappingVerdict:
     """Map the test's program and check Theorem 1 for it."""
     target = mapping.apply(test.program)
     verdict = check_translation(
         test.program, target, src_model, tgt_model,
         test=test, mapping_name=mapping.name, limit=limit,
+        allow_extra_target_keys=allow_extra_target_keys,
     )
     return verdict
 
@@ -192,12 +194,14 @@ def check_mapping(test: LitmusTest, mapping: OpMapping,
 def check_corpus(corpus: tuple[LitmusTest, ...], mapping: OpMapping,
                  src_model: MemoryModel,
                  tgt_model: MemoryModel,
-                 limit: int | None = None) -> CorpusReport:
+                 limit: int | None = None, *,
+                 allow_extra_target_keys: bool = False) -> CorpusReport:
     report = CorpusReport(mapping_name=mapping.name)
     for test in corpus:
         report.verdicts.append(
             check_mapping(test, mapping, src_model, tgt_model,
-                          limit=limit)
+                          limit=limit,
+                          allow_extra_target_keys=allow_extra_target_keys)
         )
     return report
 

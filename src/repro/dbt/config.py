@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field, replace
 
+from ..core.most import SCHEMES, FenceScheme
 from ..errors import ReproError
 from ..tcg.frontend_x86 import CasPolicy, FencePolicy, FrontendConfig
 from ..tcg.optimizer import OptimizerConfig
@@ -116,6 +117,47 @@ VARIANTS: dict[str, DBTConfig] = {
     c.name: c for c in (QEMU, NO_FENCES, TCG_VER, RISOTTO)
 }
 
+def _nearest_policy(scheme: FenceScheme) -> FencePolicy:
+    """The legacy policy name closest to a derived scheme.
+
+    Purely cosmetic — with an explicit ``scheme`` the frontend never
+    branches on ``fence_policy`` — but keeps diagnostics readable.
+    """
+    if scheme.mfence is None:
+        return FencePolicy.NOFENCES
+    if scheme.name == "qemu":
+        return FencePolicy.QEMU
+    return FencePolicy.RISOTTO
+
+
+def scheme_variant(scheme: FenceScheme) -> DBTConfig:
+    """A full-featured DBT variant emitting from a derived scheme.
+
+    Derived variants take the ``risotto`` chassis (native CAS, host
+    linker, default optimizer) and swap only the fence scheme, so
+    sweeps compare mapping schemes and nothing else.
+    """
+    return DBTConfig(
+        name=f"most-{scheme.name}",
+        frontend=FrontendConfig(
+            fence_policy=_nearest_policy(scheme),
+            cas_policy=CasPolicy.NATIVE,
+            scheme=scheme,
+        ),
+        use_host_linker=True,
+    )
+
+
+#: Table-derived (source, target, scheme) variants — one per entry in
+#: :data:`repro.core.most.SCHEMES`, named ``most-<scheme>``.  Kept in
+#: a separate registry so :data:`VARIANT_NAMES` stays the four paper
+#: variants + native (figure column order is load-bearing), but
+#: :func:`resolve_variant` accepts both.
+SCHEME_VARIANTS: dict[str, DBTConfig] = {
+    cfg.name: cfg
+    for cfg in (scheme_variant(s) for s in SCHEMES.values())
+}
+
 #: The one non-DBT variant: run the Arm-compiled workload directly.
 NATIVE = "native"
 
@@ -135,9 +177,11 @@ def resolve_variant(name: str) -> DBTConfig | None:
     """
     if name == NATIVE:
         return None
-    try:
+    if name in VARIANTS:
         return VARIANTS[name]
-    except KeyError:
-        raise ReproError(
-            f"unknown variant {name!r}; expected one of "
-            f"{VARIANT_NAMES}") from None
+    if name in SCHEME_VARIANTS:
+        return SCHEME_VARIANTS[name]
+    raise ReproError(
+        f"unknown variant {name!r}; expected one of "
+        f"{VARIANT_NAMES} or a derived scheme variant "
+        f"({', '.join(sorted(SCHEME_VARIANTS))})") from None

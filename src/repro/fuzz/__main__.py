@@ -42,6 +42,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--bench-json", metavar="PATH",
                         help="write a repro-bench export with the "
                              "fuzz summary here")
+    parser.add_argument("--dbt-mapping", metavar="NAME",
+                        help="pin the dbt-differential mapping leg to "
+                             "one registered mapping (e.g. a derived "
+                             "most-* scheme; default: the Risotto "
+                             "pair)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report raw diverging cases unminimized")
     parser.add_argument("--shrink-budget", type=int, default=150,
@@ -59,7 +64,8 @@ def main(argv=None) -> int:
         config = FuzzConfig(
             seed=args.seed, cases=args.cases, oracles=names,
             shrink=not args.no_shrink,
-            shrink_budget=args.shrink_budget)
+            shrink_budget=args.shrink_budget,
+            dbt_mapping=args.dbt_mapping)
         report = run_fuzz(config)
     except ReproError as exc:
         print(f"fuzz: {exc}", file=sys.stderr)

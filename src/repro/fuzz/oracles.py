@@ -235,15 +235,26 @@ class DBTDifferentialOracle:
 
     name = "dbt-differential"
 
-    def __init__(self):
+    def __init__(self, mapping: str | None = None):
         # Only the Risotto schemes are expected-correct; the QEMU
         # schemes carry the paper's documented MPQ/SBQ bugs and live in
         # the corpus as known divergences instead.  Resolve the names
         # against the registry once so a rename there fails loudly here.
+        # ``mapping`` pins the mapping leg to one registered mapping —
+        # e.g. a table-derived ``most-*`` scheme — instead of the
+        # Risotto pair.
         from ..core import mappings as M
-        self._safe_mappings = tuple(sorted(
-            m.name for m in (M.risotto_x86_to_arm_rmw1,
-                             M.risotto_x86_to_arm_rmw2)))
+        from ..core import most  # noqa: F401  (registers most-* mappings)
+        if mapping is None:
+            self._safe_mappings = tuple(sorted(
+                m.name for m in (M.risotto_x86_to_arm_rmw1,
+                                 M.risotto_x86_to_arm_rmw2)))
+        else:
+            if mapping not in M.ALL_MAPPINGS:
+                raise ReproError(
+                    f"unknown mapping {mapping!r}; expected one of "
+                    f"{sorted(M.ALL_MAPPINGS)}")
+            self._safe_mappings = (mapping,)
 
     def generate(self, rng: Random) -> dict:
         roll = rng.random()
@@ -639,11 +650,23 @@ ORACLES = {
 }
 
 
-def make_oracles(names) -> list:
-    """Instantiate oracles by name, preserving registry order."""
+def make_oracles(names, *, dbt_mapping: str | None = None) -> list:
+    """Instantiate oracles by name, preserving registry order.
+
+    ``dbt_mapping`` pins the DBT-differential oracle's mapping leg to
+    one registered mapping (e.g. a derived ``most-*`` scheme).
+    """
     unknown = sorted(set(names) - set(ORACLES))
     if unknown:
         raise ReproError(
             f"unknown oracles {unknown}; expected a subset of "
             f"{sorted(ORACLES)}")
-    return [cls() for name, cls in ORACLES.items() if name in names]
+    oracles = []
+    for name, cls in ORACLES.items():
+        if name not in names:
+            continue
+        if cls is DBTDifferentialOracle and dbt_mapping is not None:
+            oracles.append(cls(mapping=dbt_mapping))
+        else:
+            oracles.append(cls())
+    return oracles

@@ -43,6 +43,10 @@ class FuzzConfig:
     oracles: tuple[str, ...] = DEFAULT_ORACLES
     shrink: bool = True
     shrink_budget: int = 150
+    #: Pin the DBT-differential oracle's mapping leg to one registered
+    #: mapping name (e.g. a derived ``most-*`` scheme); ``None`` keeps
+    #: the default Risotto pair.
+    dbt_mapping: str | None = None
 
 
 @dataclass
@@ -71,7 +75,8 @@ class FuzzReport:
 
 def run_fuzz(config: FuzzConfig) -> FuzzReport:
     """Run the configured oracles over their case budgets."""
-    oracles = make_oracles(config.oracles)
+    oracles = make_oracles(config.oracles,
+                           dbt_mapping=config.dbt_mapping)
     report = FuzzReport(config=config)
     registry = get_registry()
     counter = registry.counter(

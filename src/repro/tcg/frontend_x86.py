@@ -1,13 +1,19 @@
 """x86 → TCG IR translation (the guest frontend).
 
 Decodes guest instructions from memory at the emulated IP and emits
-TCG ops one basic block at a time, inserting memory fences according to
-the selected :class:`FencePolicy`:
+TCG ops one basic block at a time.  Memory fences come from a derived
+:class:`~repro.core.most.FenceScheme` — the concrete per-access
+placement a (source MOST table, target fence menu, placement
+discipline) triple derives — rather than hardwired policy branches.
+The legacy :class:`FencePolicy` names resolve to their table-derived
+equivalents (proven bit-identical by the golden tests):
 
-* ``QEMU``   — Figure 2: ``Frr`` before loads, ``Fmw`` before stores.
+* ``QEMU``   — Figure 2: ``Frr`` before loads, ``Fmw`` before stores
+  (the ``qemu`` scheme: TSO table, all-leading placement).
 * ``RISOTTO`` — Figure 7a: ``Frm`` *after* loads, ``Fww`` *before*
-  stores (the verified minimal scheme).
-* ``NOFENCES`` — the incorrect performance oracle.
+  stores (the ``risotto`` scheme: TSO table, trailing loads).
+* ``NOFENCES`` — the incorrect performance oracle (drops the explicit
+  x86 fences too).
 
 ``CasPolicy`` selects how LOCK'd RMWs translate: ``HELPER`` is QEMU's
 call-out to a C helper (whose ordering comes from the GCC builtin);
@@ -23,6 +29,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..core.most import FenceScheme, scheme_for_policy
 from ..errors import TranslationError
 from ..isa.common import Imm, Insn, Mem, Reg
 from ..isa.x86.insns import BLOCK_TERMINATORS, CODER, CONDITIONAL_JUMPS
@@ -31,14 +38,11 @@ from .ir import (
     Const,
     GUEST_FLAG_TEMPS,
     GUEST_REG_TEMPS,
-    MO_ALL,
-    MO_LD_LD,
-    MO_LD_ST,
-    MO_ST_ST,
     Op,
     TCGBlock,
     Temp,
     Value,
+    fence_to_mask,
 )
 
 
@@ -58,6 +62,18 @@ class FrontendConfig:
     fence_policy: FencePolicy = FencePolicy.RISOTTO
     cas_policy: CasPolicy = CasPolicy.NATIVE
     block_insn_limit: int = 64
+    #: The derived mapping scheme the frontend emits from.  ``None``
+    #: resolves to ``fence_policy``'s table-derived equivalent, so
+    #: legacy configs keep their exact emission; an explicit scheme
+    #: wins over ``fence_policy`` (which then only names the nearest
+    #: legacy policy for diagnostics).
+    scheme: FenceScheme | None = None
+
+    def __post_init__(self):
+        if self.scheme is None:
+            object.__setattr__(
+                self, "scheme",
+                scheme_for_policy(self.fence_policy.value))
 
 
 _COND_FLAG_EXPRS = {
@@ -135,32 +151,30 @@ class X86Frontend:
         raise TranslationError(f"cannot write operand {operand!r}")
 
     # ------------------------------------------------------------------
-    # Policy fences (the heart of the paper's mapping schemes)
+    # Scheme fences (the heart of the paper's mapping schemes)
     # ------------------------------------------------------------------
+    def _emit_scheme_fence(self, block: TCGBlock, slot: str) -> None:
+        """Emit the derived scheme's fence for ``slot``, if any.
+
+        Mask and origin both come from the scheme, so a slot's
+        provenance string can never drift from the registered rule.
+        """
+        rule = self.config.scheme.rule(slot)
+        if rule is None:
+            return
+        kind, origin = rule
+        block.mb(fence_to_mask(kind), origin=origin)
+
     def _emit_load(self, block: TCGBlock, dst: Temp, addr: Temp) -> None:
-        policy = self.config.fence_policy
-        if policy is FencePolicy.QEMU:
-            block.mb(MO_LD_LD, origin="RMOV->Frr;ld")
-            block.emit("ld", dst, addr, Const(0))
-        elif policy is FencePolicy.RISOTTO:
-            block.emit("ld", dst, addr, Const(0))
-            block.mb(MO_LD_LD | MO_LD_ST, origin="RMOV->ld;Frm")
-        else:
-            block.emit("ld", dst, addr, Const(0))
+        self._emit_scheme_fence(block, "ld_pre")
+        block.emit("ld", dst, addr, Const(0))
+        self._emit_scheme_fence(block, "ld_post")
 
     def _emit_store(self, block: TCGBlock, src: Value,
                     addr: Temp) -> None:
-        policy = self.config.fence_policy
-        if policy is FencePolicy.QEMU:
-            block.mb(MO_LD_ST | MO_ST_ST, origin="WMOV->Fmw;st")
-        elif policy is FencePolicy.RISOTTO:
-            block.mb(MO_ST_ST, origin="WMOV->Fww;st")
+        self._emit_scheme_fence(block, "st_pre")
         block.emit("st", src, addr, Const(0))
-
-    def _emit_fence(self, block: TCGBlock, mask: int,
-                    origin: str | None = None) -> None:
-        if self.config.fence_policy is not FencePolicy.NOFENCES:
-            block.mb(mask, origin=origin)
+        self._emit_scheme_fence(block, "st_post")
 
     # ------------------------------------------------------------------
     # Flags
@@ -265,14 +279,13 @@ class X86Frontend:
             block.emit("exit_tb", Const(next_pc))
             return
         if m == "mfence":
-            self._emit_fence(block, MO_ALL, origin="MFENCE->Fsc")
+            self._emit_scheme_fence(block, "mfence")
             return
         if m == "lfence":
-            self._emit_fence(block, MO_LD_LD | MO_LD_ST,
-                             origin="LFENCE->Frm")
+            self._emit_scheme_fence(block, "lfence")
             return
         if m == "sfence":
-            self._emit_fence(block, MO_ST_ST, origin="SFENCE->Fww")
+            self._emit_scheme_fence(block, "sfence")
             return
         if m in ("mov", "movzx"):
             value = self._read(block, ops[1])

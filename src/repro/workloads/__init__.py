@@ -36,6 +36,7 @@ from .suites import (
     cas_grid,
     kernel_grid,
     library_grid,
+    scheme_grid,
     verify_grid,
 )
 
@@ -49,5 +50,5 @@ __all__ = [
     "run_kernel", "run_library_workload",
     "ALL_SPECS", "PARSEC_SPECS", "PHOENIX_SPECS", "SPEC_BY_NAME",
     "ablation_grid", "cas_grid", "kernel_grid", "library_grid",
-    "verify_grid",
+    "scheme_grid", "verify_grid",
 ]

@@ -80,6 +80,7 @@ class RunSpec:
     """
 
     kind: str   # "kernel" | "library" | "cas" | "ablation" | "verify"
+                # | "scheme"
     benchmark: str
     variant: str = "risotto"
     seed: int = 7
@@ -115,6 +116,10 @@ class RunSpec:
     #: go through :func:`repro.core.behaviors` (memo + disk cache)
     #: instead of enumerating directly.
     use_cache: bool = False
+    # kind == "scheme" (benchmark is the derived scheme name)
+    #: RMW lowering of the scheme's end-to-end mapping, per
+    #: :data:`repro.core.most.SCHEME_RMW_LOWERINGS`.
+    rmw_lowering: str = "rmw1al"
 
 
 @dataclass
@@ -445,6 +450,48 @@ def _run_verify(spec: RunSpec, started: float) -> RunRow:
     )
 
 
+def _run_scheme(spec: RunSpec, started: float) -> RunRow:
+    """One scheme-matrix cell: Theorem-1 check of a derived mapping
+    scheme (× RMW lowering) over the full x86 litmus corpus.
+
+    ``payload`` is ``(ok, expected_ok, tests_checked, *broken)`` —
+    the CLI gate compares the first two and names the rest.
+    """
+    from ..core.litmus_library import X86_CORPUS
+    from ..core.models import ARM, X86
+    from ..core.most import SCHEME_EXPECTED, SCHEME_MAPPINGS
+    from ..core.verifier import check_corpus
+
+    mapping_name = f"most-{spec.benchmark}-{spec.rmw_lowering}"
+    try:
+        mapping = SCHEME_MAPPINGS[mapping_name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scheme mapping {mapping_name!r}; expected one "
+            f"of {sorted(SCHEME_MAPPINGS)}") from None
+
+    cache_before = behavior_cache_stats()
+    enum_before = enumeration_stats()
+    report = check_corpus(X86_CORPUS, mapping, X86, ARM,
+                          limit=spec.enum_limit)
+    run = _enum_delta(enum_before, enumeration_stats())
+    cache_after = behavior_cache_stats()
+    broken = tuple(v.test_name for v in report.verdicts if not v.ok)
+    return RunRow(
+        benchmark=spec.benchmark,
+        variant=spec.variant,
+        wall_seconds=time.perf_counter() - started,
+        cache_hits=cache_after.hits - cache_before.hits,
+        cache_misses=cache_after.misses - cache_before.misses,
+        cache_disk_hits=cache_after.disk_hits - cache_before.disk_hits,
+        cache_disk_misses=(cache_after.disk_misses
+                           - cache_before.disk_misses),
+        payload=(report.ok, SCHEME_EXPECTED[mapping_name],
+                 len(report.verdicts)) + broken,
+        **_enum_fields(run),
+    )
+
+
 def execute_spec(spec: RunSpec) -> RunRow:
     """Worker entry point: build the engine in-process and run it."""
     started = time.perf_counter()
@@ -480,6 +527,10 @@ def execute_spec(spec: RunSpec) -> RunRow:
         return row
     elif spec.kind == "verify":
         row = _run_verify(spec, started)
+        row.metrics = _run_metrics(spec, row)
+        return row
+    elif spec.kind == "scheme":
+        row = _run_scheme(spec, started)
         row.metrics = _run_metrics(spec, row)
         return row
     else:

@@ -163,3 +163,37 @@ def verify_grid(tests=None, models: tuple[str, ...] = ("x86-tso",),
                 enum_limit=enum_limit, use_cache=use_cache)
         for test in tests for model in models
     )
+
+
+def scheme_grid(schemes=None, *, enum_limit: int | None = None,
+                seed: int = 7):
+    """Scheme-matrix specs: Theorem-1 corpus checks for the derived
+    mapping family, one cell per (scheme × RMW lowering).
+
+    Sound schemes are swept under both verified RMW lowerings;
+    negative controls (``expect_sound=False``) only under ``rmw1al`` —
+    they exist to prove the gate trips, once each is enough.
+    """
+    from ..core.most import SCHEME_RMW_LOWERINGS, SCHEMES
+    from ..errors import ReproError
+    from .parallel import RunSpec
+
+    if schemes is None:
+        schemes = tuple(SCHEMES)
+    grid = []
+    for name in schemes:
+        try:
+            scheme = SCHEMES[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown scheme {name!r}; expected one of "
+                f"{sorted(SCHEMES)}") from None
+        rmws = SCHEME_RMW_LOWERINGS if scheme.expect_sound \
+            else SCHEME_RMW_LOWERINGS[:1]
+        for rmw in rmws:
+            grid.append(RunSpec(
+                kind="scheme", benchmark=name,
+                variant=f"{scheme.source}->arm/{rmw}", seed=seed,
+                enum_limit=enum_limit, rmw_lowering=rmw,
+            ))
+    return tuple(grid)

@@ -28,11 +28,15 @@ EXPECTED_SURFACE = {
     "ALL_SPECS", "PARSEC_SPECS", "PHOENIX_SPECS", "SPEC_BY_NAME",
     "FIGURE15_CONFIGS", "DATA_BUF",
     "kernel_grid", "library_grid", "cas_grid", "ablation_grid",
-    "verify_grid",
+    "scheme_grid", "verify_grid",
     # sharded verification / enumeration reduction
     "MODEL_BY_NAME", "FIVE_THREAD_CORPUS", "verify_registry",
     "reduced_behaviors", "enumeration_stats",
     "reset_enumeration_stats",
+    # mapping-scheme family (MOST tables + derived schemes)
+    "MOST", "FenceScheme", "SOURCE_TABLES", "TARGET_MENUS",
+    "SCHEMES", "SCHEME_MAPPINGS", "SCHEME_EXPECTED",
+    "derive_scheme", "scheme_mapping", "known_origins",
     "build_libm", "build_libcrypto", "build_libsqlite",
     "standard_libraries", "throughput_from_cycles",
     "gen_x86_program", "gen_arm_program",

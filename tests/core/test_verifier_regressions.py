@@ -242,3 +242,59 @@ class TestDropFencesRecursesIntoBranches:
         result = ablate((WRC_BRANCHY,), weakened, X86, ARM, "ff")
         assert result.fence_was_necessary
         assert result.broken_tests == ("WRC-branchy",)
+
+
+class TestCorpusExtraTargetKeysPlumbThrough:
+    """``check_mapping``/``check_corpus`` accept the same
+    ``allow_extra_target_keys`` opt-out as ``check_translation``.
+
+    Sweeping a derived scheme whose mapping legitimately observes
+    extra target registers used to abort the whole corpus on the
+    first such test instead of warning per-test.
+    """
+
+    def setup_method(self):
+        clear_behavior_cache()
+
+    def _renaming_mapping(self) -> OpMapping:
+        from repro.core.program import Load, Store
+
+        def map_op(op):
+            if isinstance(op, Load):
+                return (Load("extra_" + op.reg, op.loc),)
+            return (op,)
+
+        return OpMapping("renaming", Arch.X86, Arch.ARM, map_op)
+
+    def _test(self) -> LitmusTest:
+        program = x86("rename-probe", (W("X", 1), R("a", "X")))
+        return LitmusTest(program=program)
+
+    def test_check_mapping_raises_by_default(self):
+        with pytest.raises(ModelError, match="observes keys"):
+            check_mapping(self._test(), self._renaming_mapping(),
+                          X86, ARM)
+
+    def test_check_mapping_opt_out_warns(self):
+        with pytest.warns(UserWarning, match="observes keys"):
+            verdict = check_mapping(self._test(),
+                                    self._renaming_mapping(),
+                                    X86, ARM,
+                                    allow_extra_target_keys=True)
+        assert verdict.ok
+
+    def test_check_corpus_opt_out_reaches_every_test(self):
+        from repro.core.verifier import check_corpus
+
+        corpus = (self._test(),
+                  LitmusTest(program=x86(
+                      "rename-probe-2", (W("Y", 2), R("c", "Y")))))
+        with pytest.raises(ModelError, match="observes keys"):
+            check_corpus(corpus, self._renaming_mapping(), X86, ARM)
+        with pytest.warns(UserWarning, match="observes keys"):
+            report = check_corpus(corpus, self._renaming_mapping(),
+                                  X86, ARM,
+                                  allow_extra_target_keys=True)
+        assert [v.test_name for v in report.verdicts] == \
+            ["rename-probe", "rename-probe-2"]
+        assert report.ok

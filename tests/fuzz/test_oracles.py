@@ -105,3 +105,51 @@ class TestEnvelope:
         elim = [s for s in sites
                 if s["transform"].startswith("eliminate")]
         assert elim == []
+
+
+class TestMappingPinning:
+    """``make_oracles(dbt_mapping=...)`` pins the mapping leg to one
+    registered mapping — a derived ``most-*`` scheme included."""
+
+    def test_pinned_mapping_is_the_only_choice(self):
+        (instance,) = make_oracles(
+            ("dbt-differential",),
+            dbt_mapping="most-tso-trail-rmw1al")
+        assert instance._safe_mappings == ("most-tso-trail-rmw1al",)
+        for i in range(40):
+            case = instance.generate(Random(f"pin:{i}"))
+            if case["kind"] == "mapping":
+                assert case["mapping"] == "most-tso-trail-rmw1al"
+
+    def test_pinned_derived_scheme_stays_green_on_mpq(self):
+        (instance,) = make_oracles(
+            ("dbt-differential",),
+            dbt_mapping="most-risotto-rmw2ff")
+        case = {"kind": "mapping",
+                "program": program_to_json(L.MPQ.program),
+                "mapping": "most-risotto-rmw2ff"}
+        assert instance.check(case).status == "ok"
+
+    def test_pinned_broken_scheme_diverges_on_mpq(self):
+        # The derived qemu scheme under the casal lowering carries the
+        # paper's failed-CAS bug; the oracle must see it.
+        (instance,) = make_oracles(
+            ("dbt-differential",),
+            dbt_mapping="most-qemu-rmw1al")
+        case = {"kind": "mapping",
+                "program": program_to_json(L.MPQ.program),
+                "mapping": "most-qemu-rmw1al"}
+        outcome = instance.check(case)
+        assert outcome.status == "divergence"
+
+    def test_unknown_mapping_rejected(self):
+        with pytest.raises(ReproError, match="unknown mapping"):
+            make_oracles(("dbt-differential",),
+                         dbt_mapping="most-fastest-rmw0")
+
+    def test_pin_leaves_other_oracles_untouched(self):
+        instances = make_oracles(
+            ("staged-vs-naive", "dbt-differential"),
+            dbt_mapping="most-tso-trail-rmw1al")
+        assert [type(i).__name__ for i in instances] == \
+            ["StagedVsNaiveOracle", "DBTDifferentialOracle"]

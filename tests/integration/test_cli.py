@@ -218,3 +218,80 @@ class TestDelegation:
                      "--oracles", "staged-vs-naive"])
         assert code == 0
         assert "cases" in capsys.readouterr().out.lower()
+
+
+class TestDelegatedHelp:
+    """Delegated subcommands must surface the *delegate's* help and
+    options instead of dying on argparse's REMAINDER quirk
+    (bpo-17050: a leading option never matches the remainder)."""
+
+    def test_fuzz_help_shows_delegate_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro.fuzz" in out
+        assert "--oracles" in out
+
+    def test_obsreport_help_shows_delegate_usage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obsreport", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "obsreport" in out
+
+    def test_parser_path_forwards_leading_options(self, cache_env,
+                                                  capsys):
+        # Exercise the parse_known_args route main() falls back to —
+        # a strict parse of a leading option used to die with
+        # "unrecognized arguments" at the top level.
+        parser = build_parser()
+        args, unknown = parser.parse_known_args(
+            ["fuzz", "--seed", "5", "--cases", "2",
+             "--oracles", "staged-vs-naive"])
+        assert args.command == "fuzz"
+        forwarded = list(unknown) + list(args.args)
+        assert forwarded == ["--seed", "5", "--cases", "2",
+                             "--oracles", "staged-vs-naive"]
+        from repro.fuzz.__main__ import main as fuzz_main
+        assert fuzz_main(forwarded) == 0
+        capsys.readouterr()
+
+    def test_unknown_args_still_rejected_elsewhere(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", "--bogus-flag"])
+        assert excinfo.value.code == 2
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+
+class TestSchemeMatrix:
+    def test_schemes_sweep_passes_and_exports(self, cache_env,
+                                              tmp_path, capsys):
+        bench = tmp_path / "bench_schemes.json"
+        code = main(["verify", "--schemes", "qemu,risotto",
+                     "--workers", "1", "--bench-json", str(bench)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scheme-matrix" in out
+        assert "most-risotto-rmw1al" in out
+        payload = json.loads(bench.read_text())
+        assert payload["figure"] == "schemes"
+        assert payload["extra"]["gate_failures"] == 0
+        verdicts = payload["extra"]["verdicts"]
+        assert verdicts["most-qemu-rmw1al"]["ok"] is False
+        assert verdicts["most-qemu-rmw1al"]["expected_ok"] is False
+        assert verdicts["most-risotto-rmw2ff"]["ok"] is True
+
+    def test_negative_controls_keep_their_teeth(self, cache_env,
+                                                capsys):
+        # The rmo-bare control must stay broken — and the gate must
+        # *pass*, because broken is exactly what the family expects.
+        code = main(["verify", "--schemes", "rmo-bare",
+                     "--workers", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "broken" in out
+
+    def test_unknown_scheme_names_family(self, cache_env, capsys):
+        with pytest.raises(Exception, match="unknown scheme"):
+            main(["verify", "--schemes", "fastest", "--workers", "1"])
