@@ -35,6 +35,7 @@ from .core.behavior_cache import (
     cache_dir as behavior_cache_dir,
     clear_disk_cache as clear_behavior_cache,
     enabled as behavior_cache_enabled,
+    namespace_usage as behavior_cache_namespaces,
 )
 from .core.corpus_large import FIVE_THREAD_CORPUS, verify_registry
 from .core.dpor import reduced_behaviors
@@ -63,9 +64,19 @@ from .dbt.xlat_cache import (
     clear_disk_cache as clear_xlat_cache,
     enabled as xlat_cache_enabled,
     get_cache as get_xlat_cache,
+    namespace_usage as xlat_cache_namespaces,
     reset_memory as reset_xlat_memory,
 )
-from .errors import ReproError
+from .errors import ErrorInfo, JobError, ReproError, classify_error
+from .serve.jobs import (
+    JOB_SCHEMA,
+    JobResult,
+    JobSpec,
+    cas_job,
+    execute_job as _execute_job,
+    kernel_job,
+    library_job,
+)
 from .machine.timing import CostModel
 from .obs.flame import collapsed_stacks, write_collapsed
 from .obs.history import (
@@ -101,10 +112,10 @@ from .workloads import (
     scheme_grid,
     verify_grid,
 )
+from .workloads import parallel as _parallel
 from .workloads import runner as _runner
 from .workloads.casbench import CasConfig, FIGURE15_CONFIGS, \
     throughput_from_cycles
-from .workloads.casbench import run_cas_benchmark as _run_cas
 from .workloads.libs import (
     build_libcrypto,
     build_libm,
@@ -143,11 +154,18 @@ __all__ = [
     "BufferMode", "CostModel", "ReproError",
     # tiered JIT (superblock) knobs
     "Tier2Config", "tier2_from_env", "DEFAULT_TIER2_THRESHOLD",
+    # typed job surface (the canonical run description)
+    "JobSpec", "JobResult", "JOB_SCHEMA", "submit",
+    "kernel_job", "library_job", "cas_job",
+    # error taxonomy (service boundaries + sweep failures)
+    "ErrorInfo", "JobError", "classify_error",
     # cache controls
     "xlat_cache_stats", "xlat_cache_dir", "xlat_cache_enabled",
     "clear_xlat_cache", "reset_xlat_memory", "get_xlat_cache",
+    "xlat_cache_namespaces",
     "behavior_cache_stats", "behavior_cache_dir",
     "behavior_cache_enabled", "clear_behavior_cache",
+    "behavior_cache_namespaces",
     # performance observatory (bench history + regression sentinel)
     "record_bench", "load_history", "history_dir",
     "figures_in_history", "config_fingerprint", "render_trend",
@@ -173,6 +191,25 @@ def make_engine(*, variant: str, n_cores: int = 1, seed: int = 42,
                                 buffer_mode, tier2_threshold)
 
 
+def submit(job: JobSpec, *, library=None) -> JobResult:
+    """Execute one typed job and return its typed result.
+
+    The single dispatcher every run goes through: the ``run_*``
+    wrappers below build a :class:`JobSpec` and call this, and the
+    serve front-end executes the same jobs in its pool workers — so a
+    served run and a local call are the same code path and their
+    results are bit-identical.
+
+    Raises the usual :class:`~repro.errors.ReproError` family on
+    failure (service boundaries catch and classify instead — see
+    :func:`repro.serve.jobs.run_job`).  ``library`` optionally
+    overrides the job's registry library name with an already-built
+    object (how :func:`run_library_workload` passes user libraries
+    through).
+    """
+    return _execute_job(job, library=library)
+
+
 def run_kernel(spec: KernelSpec, *, variant: str, seed: int = 7,
                costs: CostModel | None = None,
                max_steps: int = 80_000_000,
@@ -180,10 +217,10 @@ def run_kernel(spec: KernelSpec, *, variant: str, seed: int = 7,
                tier2_threshold: int | None = None,
                ) -> WorkloadResult:
     """Run one PARSEC/Phoenix kernel under a variant (or natively)."""
-    return _runner.run_kernel(spec, variant, seed=seed, costs=costs,
-                              max_steps=max_steps,
-                              buffer_mode=buffer_mode,
-                              tier2_threshold=tier2_threshold)
+    job = kernel_job(spec, variant=variant, seed=seed, costs=costs,
+                     max_steps=max_steps, buffer_mode=buffer_mode,
+                     tier2_threshold=tier2_threshold)
+    return submit(job).outcome
 
 
 def run_library_workload(function: str, args: tuple[int, ...],
@@ -194,12 +231,33 @@ def run_library_workload(function: str, args: tuple[int, ...],
                          buffer_mode: BufferMode = BufferMode.WEAK,
                          tier2_threshold: int | None = None,
                          ) -> WorkloadResult:
-    """Benchmark a shared-library function under a variant."""
-    return _runner.run_library_workload(
-        function, args, calls, variant, library,
-        setup_memory=setup_memory, seed=seed, costs=costs,
+    """Benchmark a shared-library function under a variant.
+
+    ``library`` is a :class:`~repro.loader.hostlibs.HostLibrary`
+    object; ``setup_memory`` an optional callable applied to guest
+    memory before the run.  A callable setup that is not a registered
+    :data:`~repro.workloads.parallel.MEMORY_SETUPS` entry cannot
+    travel on the wire, so it runs through the job's local override
+    path here — the job itself stays the canonical description.
+    """
+    setup_name = next(
+        (name for name, fn in _parallel.MEMORY_SETUPS.items()
+         if fn is setup_memory), None)
+    job = library_job(
+        function, args, calls, variant=variant,
+        library=getattr(library, "name", None),
+        setup=setup_name, seed=seed, costs=costs,
         max_steps=max_steps, buffer_mode=buffer_mode,
         tier2_threshold=tier2_threshold)
+    if setup_memory is not None and setup_name is None:
+        # Unregistered setup callable: execute directly through the
+        # runner (identical code path; only the wire form is off).
+        return _runner.run_library_workload(
+            function, args, calls, variant, library,
+            setup_memory=setup_memory, seed=seed, costs=costs,
+            max_steps=max_steps, buffer_mode=buffer_mode,
+            tier2_threshold=tier2_threshold)
+    return submit(job, library=library).outcome
 
 
 def run_cas_benchmark(config: CasConfig, *, variant: str,
@@ -208,5 +266,6 @@ def run_cas_benchmark(config: CasConfig, *, variant: str,
                       buffer_mode: BufferMode = BufferMode.WEAK,
                       ) -> WorkloadResult:
     """Run one Figure 15 CAS configuration under a variant."""
-    return _run_cas(config, variant, seed=seed, costs=costs,
-                    buffer_mode=buffer_mode)
+    job = cas_job(config, variant=variant, seed=seed, costs=costs,
+                  buffer_mode=buffer_mode)
+    return submit(job).outcome

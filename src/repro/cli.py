@@ -6,6 +6,11 @@ runners (which keep working unchanged):
 * ``run`` — execute a figure sweep through the parallel harness and
   print the paper-style report + stats footer (optionally exporting
   ``bench_*.json``);
+* ``serve`` — the translation-as-a-service server (delegates to
+  ``python -m repro.serve.server``): typed jobs over a line-delimited
+  JSON socket, batched over the process pool;
+* ``loadgen`` — the QPS load harness against a running server
+  (delegates to ``python -m repro.serve.loadgen``);
 * ``fuzz`` — the differential fuzzer (delegates to
   ``python -m repro.fuzz``);
 * ``obsreport`` — render bench/trace artefacts as text (delegates to
@@ -121,6 +126,20 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--record", action="store_true",
                         help="append the --bench-json export to the "
                              "perf-observatory history store")
+
+    serve = sub.add_parser(
+        "serve",
+        help="translation-as-a-service server (line-delimited JSON "
+             "jobs, batched over the process pool)",
+        add_help=False)
+    serve.add_argument("args", nargs=argparse.REMAINDER)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="replay a deterministic job mix against a serve server "
+             "at a fixed QPS",
+        add_help=False)
+    loadgen.add_argument("args", nargs=argparse.REMAINDER)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential fuzzer (python -m repro.fuzz)",
@@ -592,6 +611,7 @@ def _cache_stats_payload() -> dict:
             "stores": xlat.stores,
             "evictions": xlat.evictions,
             "corrupt_entries": xlat.corrupt_entries,
+            "namespaces": api.xlat_cache_namespaces(),
         },
         "behavior": {
             "enabled": api.behavior_cache_enabled(),
@@ -602,6 +622,7 @@ def _cache_stats_payload() -> dict:
             "misses": mem.misses,
             "disk_hits": mem.disk_hits,
             "disk_misses": mem.disk_misses,
+            "namespaces": api.behavior_cache_namespaces(),
         },
     }
 
@@ -619,6 +640,10 @@ def _cmd_cache(args) -> int:
                   f"{info['disk_bytes']} bytes")
             print(f"  this process: {info['hits']} hits / "
                   f"{info['misses']} misses")
+            for ns, usage in info["namespaces"].items():
+                label = ns or "(root)"
+                print(f"  namespace {label}: {usage['entries']} "
+                      f"entries, {usage['bytes']} bytes")
         return 0
     if args.cache_command == "clear":
         both = not (args.xlat or args.behavior)
@@ -646,6 +671,12 @@ def _delegate(command: str):
     if command == "obsreport":
         from .analysis.obsreport import main as obsreport_main
         return obsreport_main
+    if command == "serve":
+        from .serve.server import main as serve_main
+        return serve_main
+    if command == "loadgen":
+        from .serve.loadgen import main as loadgen_main
+        return loadgen_main
     return None
 
 

@@ -117,14 +117,54 @@ def namespace() -> str:
     return ns
 
 
-def cache_dir() -> Path:
+def base_dir() -> Path:
+    """The store root, *before* namespace scoping."""
     override = os.environ.get(ENV_VAR, "").strip()
     if override and override.lower() not in _OFF_VALUES:
-        base = Path(override)
-    else:
-        base = Path.cwd() / ".repro-cache" / "behaviors"
+        return Path(override)
+    return Path.cwd() / ".repro-cache" / "behaviors"
+
+
+def cache_dir() -> Path:
+    base = base_dir()
     ns = namespace()
     return base / ns if ns else base
+
+
+def namespace_usage() -> dict[str, dict]:
+    """Per-namespace ``{"entries": n, "bytes": b}`` of the disk store,
+    keyed by namespace name ("" is the root namespace).
+
+    Entries live flat in their namespace directory (``<key>.json``),
+    so any subdirectory of the root is a namespace and the root's own
+    entry files form the "" namespace.
+    """
+    base = base_dir()
+    usage: dict[str, dict] = {}
+    if not base.is_dir():
+        return usage
+    root_files = root_bytes = 0
+    namespaces: list[tuple[str, int, int]] = []
+    for child in sorted(base.iterdir()):
+        if child.is_dir():
+            files = size = 0
+            for path in child.glob("*.json"):
+                try:
+                    size += path.stat().st_size
+                    files += 1
+                except OSError:  # pragma: no cover
+                    continue
+            namespaces.append((child.name, files, size))
+        elif child.suffix == ".json":
+            try:
+                root_bytes += child.stat().st_size
+                root_files += 1
+            except OSError:  # pragma: no cover
+                continue
+    usage[""] = {"entries": root_files, "bytes": root_bytes}
+    for name, files, size in namespaces:
+        usage[name] = {"entries": files, "bytes": size}
+    return usage
 
 
 def _entry_path(key: str) -> Path:

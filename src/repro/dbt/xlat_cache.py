@@ -53,6 +53,15 @@ least-recently-written entries.
 Configuration via ``REPRO_XLAT_CACHE``: unset uses
 ``<cwd>/.repro-cache/xlat``; a path overrides the directory; ``0`` or
 ``off`` disables the cache entirely (both levels).
+
+``REPRO_XLAT_CACHE_NS`` names a *namespace* — a subdirectory of the
+store, mirroring the behavior cache's ``REPRO_BEHAVIOR_CACHE_NS``.
+The serve front-end scopes each tenant's entries under its namespace
+so concurrent clients never read each other's artifacts; eviction,
+``clear_disk_cache`` and the in-memory LRU all operate per namespace
+(instances are keyed by the resolved directory), and
+:func:`namespace_usage` enumerates every namespace for
+``python -m repro cache stats``.
 """
 
 from __future__ import annotations
@@ -82,6 +91,7 @@ SCHEMA = "repro-xlat/2"
 TRACE_SCHEMA = "repro-xlat-trace/2"
 
 ENV_VAR = "REPRO_XLAT_CACHE"
+NAMESPACE_ENV = "REPRO_XLAT_CACHE_NS"
 ENV_BUDGET = "REPRO_XLAT_CACHE_BUDGET"
 ENV_MEM = "REPRO_XLAT_CACHE_MEM"
 _OFF_VALUES = frozenset({"0", "off", "none", "disabled"})
@@ -221,11 +231,31 @@ def enabled() -> bool:
         not in _OFF_VALUES
 
 
-def cache_dir() -> Path:
+def namespace() -> str:
+    """The active cache namespace (sanitized), or "" for the root.
+
+    Only ``[A-Za-z0-9._-]`` survive, and a name reduced to dots alone
+    is dropped entirely — ``..`` must never become a path component.
+    """
+    raw = os.environ.get(NAMESPACE_ENV, "").strip()
+    ns = "".join(c for c in raw if c.isalnum() or c in "._-")
+    if not ns.strip("."):
+        return ""
+    return ns
+
+
+def base_dir() -> Path:
+    """The store root, *before* namespace scoping."""
     override = os.environ.get(ENV_VAR, "").strip()
     if override and override.lower() not in _OFF_VALUES:
         return Path(override)
     return Path.cwd() / ".repro-cache" / "xlat"
+
+
+def cache_dir() -> Path:
+    base = base_dir()
+    ns = namespace()
+    return base / ns if ns else base
 
 
 def _env_int(name: str, default: int) -> int:
@@ -534,3 +564,62 @@ def clear_disk_cache() -> int:
     if cache is None:
         return 0
     return cache.clear_disk()
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant observability
+# ----------------------------------------------------------------------
+def _shard_files(directory: Path) -> tuple[int, int]:
+    """(entry count, bytes) of one shard directory's ``*.json``."""
+    files = size = 0
+    for path in directory.glob("*.json"):
+        try:
+            size += path.stat().st_size
+            files += 1
+        except OSError:  # pragma: no cover - concurrent removal
+            continue
+    return files, size
+
+
+def _looks_like_shard(directory: Path) -> bool:
+    """Shards are two hex digits holding only entry files; a
+    namespace that *spells* like a shard still contains shard
+    subdirectories, so contents disambiguate the two."""
+    name = directory.name
+    if len(name) != 2 or any(c not in "0123456789abcdef"
+                             for c in name):
+        return False
+    try:
+        return not any(child.is_dir() for child in directory.iterdir())
+    except OSError:  # pragma: no cover - concurrent removal
+        return True
+
+
+def namespace_usage() -> dict[str, dict]:
+    """Per-namespace ``{"entries": n, "bytes": b}`` of the disk store,
+    keyed by namespace name ("" is the root namespace)."""
+    base = base_dir()
+    usage: dict[str, dict] = {}
+    if not base.is_dir():
+        return usage
+    root_files = root_bytes = 0
+    namespaces: list[tuple[str, int, int]] = []
+    for child in sorted(base.iterdir()):
+        if not child.is_dir():
+            continue
+        if _looks_like_shard(child):
+            files, size = _shard_files(child)
+            root_files += files
+            root_bytes += size
+        else:
+            files = size = 0
+            for shard in child.iterdir():
+                if shard.is_dir():
+                    shard_count, shard_size = _shard_files(shard)
+                    files += shard_count
+                    size += shard_size
+            namespaces.append((child.name, files, size))
+    usage[""] = {"entries": root_files, "bytes": root_bytes}
+    for name, files, size in namespaces:
+        usage[name] = {"entries": files, "bytes": size}
+    return usage

@@ -2,9 +2,17 @@
 
 Every subsystem raises a subclass of :class:`ReproError`, so callers can
 catch library failures without also swallowing programming errors.
+
+The bottom of this module is the *error taxonomy* for service
+boundaries: :func:`classify_error` maps any exception to a typed
+:class:`ErrorInfo` (stable code, message, retryable flag), so the
+serve protocol and the sweep harness report failures identically
+instead of letting raw tracebacks cross a process or socket boundary.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 
 class ReproError(Exception):
@@ -49,3 +57,78 @@ class LoaderError(ReproError):
 
 class LinkError(LoaderError):
     """The dynamic host linker could not resolve or marshal a call."""
+
+
+class JobError(ReproError):
+    """A serve-protocol job is malformed (unknown kind, bad field...)."""
+
+
+# ----------------------------------------------------------------------
+# Error taxonomy for service boundaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ErrorInfo:
+    """One classified failure, safe to put on the wire.
+
+    ``code`` is a stable, documented identifier (never a Python class
+    name), ``message`` a single human-readable line, and ``retryable``
+    whether the *same* request may succeed on resubmission — true only
+    for environmental failures, never for deterministic ones (a job
+    that faults the guest will fault it again).
+    """
+
+    code: str
+    message: str
+    retryable: bool = False
+
+    def to_json(self) -> dict:
+        return {"code": self.code, "message": self.message,
+                "retryable": self.retryable}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ErrorInfo":
+        return cls(code=str(payload["code"]),
+                   message=str(payload["message"]),
+                   retryable=bool(payload.get("retryable", False)))
+
+
+#: Exception type -> error code, most-specific first: subclasses must
+#: precede their bases (LinkError before LoaderError), and the
+#: ReproError family precedes the stdlib fallbacks.
+ERROR_CODES: tuple[tuple[type, str], ...] = (
+    (JobError, "bad-request"),
+    (LitmusError, "litmus"),
+    (ModelError, "model"),
+    (MappingError, "mapping"),
+    (AssemblerError, "assembler"),
+    (DecodeError, "decode"),
+    (TranslationError, "translation"),
+    (GuestFault, "guest-fault"),
+    (MachineError, "machine"),
+    (LinkError, "link"),
+    (LoaderError, "loader"),
+    (ReproError, "repro"),
+    (TimeoutError, "timeout"),
+    (OSError, "io"),
+)
+
+#: Codes whose failures are environmental, not deterministic: the same
+#: request may succeed if resubmitted ("unavailable" is minted by the
+#: server when its worker pool dies, never by classify_error).
+RETRYABLE_CODES = frozenset({"internal", "io", "timeout", "unavailable"})
+
+
+def error_code(exc: BaseException) -> str:
+    """The taxonomy code for an exception (``"internal"`` fallback)."""
+    for exc_type, code in ERROR_CODES:
+        if isinstance(exc, exc_type):
+            return code
+    return "internal"
+
+
+def classify_error(exc: BaseException) -> ErrorInfo:
+    """Map any exception onto the typed service-boundary form."""
+    code = error_code(exc)
+    message = f"{type(exc).__name__}: {exc}"
+    return ErrorInfo(code=code, message=message,
+                     retryable=code in RETRYABLE_CODES)

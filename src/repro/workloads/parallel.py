@@ -37,7 +37,7 @@ from dataclasses import dataclass, field, replace
 
 from ..core.enumerate import EnumerationStats, behavior_cache_stats, \
     enumeration_stats
-from ..errors import ReproError
+from ..errors import ReproError, classify_error
 from ..machine.timing import CostModel
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import get_tracer
@@ -547,7 +547,9 @@ class RunFailure:
 
     Crossing the pool boundary as a plain record (rather than the
     exception itself) keeps the failure picklable whatever the worker
-    raised, and lets the sweep keep its other rows.
+    raised, and lets the sweep keep its other rows.  ``code`` is the
+    :data:`repro.errors.ERROR_CODES` taxonomy code, so sweep failures
+    and serve error responses classify identically.
     """
 
     kind: str
@@ -555,10 +557,11 @@ class RunFailure:
     variant: str
     seed: int
     error: str
+    code: str = "internal"
 
     def __str__(self) -> str:
         return (f"{self.kind}:{self.benchmark}/{self.variant}"
-                f" (seed {self.seed}): {self.error}")
+                f" (seed {self.seed}): [{self.code}] {self.error}")
 
 
 def _pool_entry(spec: RunSpec):
@@ -584,12 +587,14 @@ def _pool_entry(spec: RunSpec):
         with span:
             row = execute_spec(spec)
     except Exception as exc:  # noqa: BLE001 - the boundary by design
+        info = classify_error(exc)
         return RunFailure(
             kind=spec.kind,
             benchmark=spec.benchmark,
             variant=spec.variant,
             seed=spec.seed,
-            error=f"{type(exc).__name__}: {exc}",
+            error=info.message,
+            code=info.code,
         )
     row.trace_events = tuple(dict(e) for e in tracer.events[start:])
     row.trace_epoch_ns = tracer.epoch_ns

@@ -239,7 +239,8 @@ class TestObservabilityFooters:
         ]
         failures = [RunFailure(kind="kernel", benchmark="beta",
                                variant="qemu", seed=3,
-                               error="ReproError: boom")]
+                               error="ReproError: boom",
+                               code="repro")]
         return SweepResult(rows=rows, wall_seconds=0.6, workers=2,
                            failures=failures)
 
@@ -258,7 +259,8 @@ class TestObservabilityFooters:
     def test_footer_failure_lines(self, origin_sweep):
         text = run_stats_footer(origin_sweep)
         assert "FAILED runs: 1" in text
-        assert "  kernel:beta/qemu (seed 3): ReproError: boom" in text
+        assert "  kernel:beta/qemu (seed 3): [repro] " \
+            "ReproError: boom" in text
 
     def test_footer_unaccounted_bucket(self):
         rows = [RunRow(benchmark="a", variant="qemu", cycles=100,

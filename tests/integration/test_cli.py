@@ -25,7 +25,7 @@ class TestParser:
         assert excinfo.value.code == 0
         out = capsys.readouterr().out
         for command in ("run", "verify", "fuzz", "obsreport", "perf",
-                        "cache"):
+                        "cache", "serve", "loadgen"):
             assert command in out
 
     def test_no_command_prints_help(self, capsys):
@@ -97,6 +97,26 @@ class TestCache:
         assert main(["cache", "stats", "--json"]) == 0
         after = json.loads(capsys.readouterr().out)
         assert after["xlat"]["disk_entries"] == 0
+
+    def test_stats_enumerates_namespaces(self, cache_env, capsys):
+        from repro import api
+        from repro.workloads.kernels import KernelSpec
+        tiny = KernelSpec("tiny", loads=2, stores=1, alu=2, fp=1,
+                          iterations=40, threads=2, working_set=64)
+        api.submit(api.kernel_job(tiny, variant="risotto",
+                                  namespace="tenant-a"))
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The per-namespace breakdown nests inside each cache block.
+        spaces = payload["xlat"]["namespaces"]
+        assert spaces["tenant-a"]["entries"] > 0
+        assert spaces["tenant-a"]["bytes"] > 0
+        assert spaces[""]["entries"] == 0
+        assert "namespaces" in payload["behavior"]
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "namespace tenant-a:" in out
 
 
 class TestPerf:

@@ -52,7 +52,8 @@ def sweep():
     ]
     failures = [RunFailure(kind="kernel", benchmark="beta",
                            variant="qemu", seed=7,
-                           error="ReproError: boom")]
+                           error="ReproError: boom",
+                           code="repro")]
     return SweepResult(rows=rows, wall_seconds=0.6, workers=2,
                        failures=failures, metrics=reg.snapshot())
 
@@ -77,7 +78,7 @@ class TestExport:
         assert stats["failed_runs"] == 1
         assert stats["fence_cycles_by_origin"]["RMOV->ld;Frm"] == 60
         assert payload["failures"] == [
-            "kernel:beta/qemu (seed 7): ReproError: boom"]
+            "kernel:beta/qemu (seed 7): [repro] ReproError: boom"]
         assert payload["hot_blocks"]["alpha/qemu"] == [
             [0x400290, 12, 900], [0x400300, 3, 100]]
         # Untracked (native) profiles export an explicit null; tracked-
@@ -124,7 +125,7 @@ class TestRenderBench:
         assert "fence cycles by origin:" in text
         assert "RMOV->Frr;ld" in text
         assert "FAILED: kernel:beta/qemu (seed 7): " \
-            "ReproError: boom" in text
+            "[repro] ReproError: boom" in text
         assert "hot blocks" in text and "0x0000400290" in text
         assert "repro_runs_total [counter]" in text
         assert "kind=kernel, variant=qemu" in text
